@@ -1,0 +1,293 @@
+// Package repro's root benchmarks regenerate every evaluation artifact of
+// the paper as testing.B benchmarks — one per table/figure (see DESIGN.md's
+// experiment index) plus ablations for the design choices it calls out.
+// cmd/zbench prints the same experiments as human-readable tables.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/study"
+	"repro/internal/vis"
+	"repro/internal/workload"
+	"repro/internal/zexec"
+	"repro/internal/zql"
+)
+
+// Shared datasets, built once.
+var (
+	salesOnce   sync.Once
+	salesTable  *dataset.Table
+	airOnce     sync.Once
+	airTable    *dataset.Table
+	censusOnce  sync.Once
+	censusTable *dataset.Table
+)
+
+func sales() *dataset.Table {
+	salesOnce.Do(func() { salesTable = experiments.SalesDataset(experiments.ScaleSmall) })
+	return salesTable
+}
+
+func airline() *dataset.Table {
+	airOnce.Do(func() { airTable = experiments.AirlineDataset(experiments.ScaleSmall) })
+	return airTable
+}
+
+func census() *dataset.Table {
+	censusOnce.Do(func() { censusTable = experiments.CensusDataset(experiments.ScaleSmall) })
+	return censusTable
+}
+
+var optLevels = []zexec.OptLevel{zexec.NoOpt, zexec.IntraLine, zexec.IntraTask, zexec.InterTask}
+
+func benchZQLAtLevels(b *testing.B, src string, t *dataset.Table, table string) {
+	b.Helper()
+	q, err := zql.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := engine.NewRowStore(t)
+	for _, level := range optLevels {
+		b.Run(level.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := zexec.Run(q, db, zexec.Options{Table: table, Opt: level, Seed: 7}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig71Top regenerates Figure 7.1 (top): Table 5.1 on synthetic
+// sales at each optimization level.
+func BenchmarkFig71Top(b *testing.B) {
+	benchZQLAtLevels(b, experiments.Table51Query(sales(), 20), sales(), "sales")
+}
+
+// BenchmarkFig71Bottom regenerates Figure 7.1 (bottom): Table 5.2.
+func BenchmarkFig71Bottom(b *testing.B) {
+	benchZQLAtLevels(b, experiments.Table52Query(sales(), 20), sales(), "sales")
+}
+
+// BenchmarkFig72Left regenerates Figure 7.2 (left): Table 7.1 on airline data.
+func BenchmarkFig72Left(b *testing.B) {
+	benchZQLAtLevels(b, experiments.Table71Query(airline(), 10), airline(), "airline")
+}
+
+// BenchmarkFig72Right regenerates Figure 7.2 (right): Table 7.2.
+func BenchmarkFig72Right(b *testing.B) {
+	benchZQLAtLevels(b, experiments.Table72Query(airline(), 10), airline(), "airline")
+}
+
+// BenchmarkFig73 regenerates Figure 7.3: the three task processors on the
+// census-like and airline-like datasets.
+func BenchmarkFig73(b *testing.B) {
+	cdb := engine.NewRowStore(census())
+	adb := engine.NewRowStore(airline())
+	for _, task := range []experiments.Task{experiments.TaskSimilarity, experiments.TaskRepresentative, experiments.TaskOutlier} {
+		b.Run("census/"+task.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunTask(cdb, "census", "age", "wage_per_hour", "occupation", task, vis.DefaultMetric, 7); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("airline/"+task.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunTask(adb, "airline", "year", "ArrDelay", "airport", task, vis.DefaultMetric, 7); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig74 regenerates Figure 7.4: tasks vs number of groups.
+func BenchmarkFig74(b *testing.B) {
+	for _, groups := range []int{1000, 10000, 50000} {
+		tb := workload.GroupSweep(100000, groups/10, 10, 11)
+		db := engine.NewRowStore(tb)
+		for _, task := range []experiments.Task{experiments.TaskSimilarity, experiments.TaskRepresentative, experiments.TaskOutlier} {
+			b.Run(fmt.Sprintf("groups=%d/%s", groups, task), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := experiments.RunTask(db, "sweep", "x", "y", "z", task, vis.DefaultMetric, 7); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig75 regenerates Figure 7.5 (a, b): RowStore vs BitmapStore at
+// 10% and 100% selectivity across group counts.
+func BenchmarkFig75(b *testing.B) {
+	for _, groups := range []int{20, 10000, 100000} {
+		zCard := groups / 10
+		if zCard < 2 {
+			zCard = 2
+		}
+		tb := workload.GroupSweep(100000, zCard, 10, 13)
+		stores := []engine.DB{engine.NewRowStore(tb), engine.NewBitmapStore(tb)}
+		for _, sel := range []string{"10", "100"} {
+			sql := "SELECT x, SUM(y) AS s, z FROM sweep GROUP BY z, x ORDER BY z, x"
+			if sel == "10" {
+				sql = "SELECT x, SUM(y) AS s, z FROM sweep WHERE p1 = 'yes' GROUP BY z, x ORDER BY z, x"
+			}
+			for _, db := range stores {
+				b.Run(fmt.Sprintf("groups=%d/sel=%s%%/%s", groups, sel, db.Name()), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := db.ExecuteSQL(sql); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig75Census regenerates Figure 7.5 (c) on census-like data.
+func BenchmarkFig75Census(b *testing.B) {
+	stores := []engine.DB{engine.NewRowStore(census()), engine.NewBitmapStore(census())}
+	sql := "SELECT age, SUM(wage_per_hour) AS s, occupation FROM census WHERE workclass = 'Federal' AND marital_status != 'Widowed' GROUP BY occupation, age ORDER BY occupation, age"
+	for _, db := range stores {
+		b.Run(db.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.ExecuteSQL(sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable82 regenerates Table 8.2: the simulated user study plus its
+// ANOVA and Tukey HSD analysis.
+func BenchmarkTable82(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := study.Simulate(12, int64(i))
+		if _, _, err := sim.Table82(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationIntraLine isolates the intra-line batching decision: the
+// same single-row 20-product query compiled as 20 queries vs 1.
+func BenchmarkAblationIntraLine(b *testing.B) {
+	src := `
+NAME | X      | Y         | Z                  | CONSTRAINTS  | VIZ                | PROCESS
+*f1  | 'year' | 'revenue' | v1 <- 'product'.%s | country='US' | bar.(y=agg('sum')) |`
+	q, err := zql.Parse(fmt.Sprintf(src, productSet(sales(), 20)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := engine.NewRowStore(sales())
+	for _, level := range []zexec.OptLevel{zexec.NoOpt, zexec.IntraLine} {
+		b.Run(level.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := zexec.Run(q, db, zexec.Options{Table: "sales", Opt: level}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func productSet(t *dataset.Table, n int) string {
+	vals := t.Column("product").DistinctSorted()
+	if n > len(vals) {
+		n = len(vals)
+	}
+	out := "{"
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += ","
+		}
+		out += "'" + vals[i].String() + "'"
+	}
+	return out + "}"
+}
+
+// BenchmarkAblationQueryTree isolates inter-task query-tree batching against
+// plain intra-task pipelining on Table 5.1, whose second row is independent
+// of the first task.
+func BenchmarkAblationQueryTree(b *testing.B) {
+	q, err := zql.Parse(experiments.Table51Query(sales(), 20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := engine.NewRowStore(sales())
+	for _, level := range []zexec.OptLevel{zexec.IntraTask, zexec.InterTask} {
+		b.Run(level.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := zexec.Run(q, db, zexec.Options{Table: "sales", Opt: level}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDistance compares the distance metrics on the similarity
+// task: Euclidean (paper default) vs DTW (quadratic) vs KL vs EMD.
+func BenchmarkAblationDistance(b *testing.B) {
+	db := engine.NewRowStore(airline())
+	for _, name := range []string{"euclidean", "dtw", "kl", "emd"} {
+		m, err := vis.MetricByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunTask(db, "airline", "year", "ArrDelay", "airport", experiments.TaskRepresentative, m, 7); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNormalization measures the cost/benefit of z-normalizing
+// before distance computation (DESIGN.md: normalization before distance).
+func BenchmarkAblationNormalization(b *testing.B) {
+	db := engine.NewRowStore(airline())
+	for _, name := range []string{"euclidean", "raw-euclidean"} {
+		m, _ := vis.MetricByName(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunTask(db, "airline", "year", "ArrDelay", "airport", experiments.TaskOutlier, m, 7); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkZQLParse measures parser throughput over the whole paper corpus.
+func BenchmarkZQLParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, src := range zql.Corpus {
+			if _, err := zql.Parse(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkBitmapIndexBuild measures roaring index construction, the
+// BitmapStore's load-time cost.
+func BenchmarkBitmapIndexBuild(b *testing.B) {
+	tb := sales()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.NewBitmapStore(tb)
+	}
+}

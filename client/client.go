@@ -1,0 +1,189 @@
+// Package client is the embedding API of zenvisage — the analog of the
+// paper's client library ("users can easily embed ZQL queries into other
+// computation", Section 3.1). A Session wraps a dataset, a storage back-end,
+// and execution options behind a small surface: Query, QueryWithInputs,
+// Recommend. It also records the Metadata & History component of the
+// architecture diagram (Figure 6.1): every executed query with its
+// statistics.
+package client
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/recommend"
+	"repro/internal/vis"
+	"repro/internal/zexec"
+	"repro/internal/zql"
+)
+
+// Session is a connection to one dataset.
+type Session struct {
+	mu      sync.Mutex
+	db      engine.DB
+	table   string
+	opt     zexec.OptLevel
+	metric  vis.Metric
+	seed    int64
+	history []HistoryEntry
+}
+
+// HistoryEntry records one executed query.
+type HistoryEntry struct {
+	When    time.Time
+	ZQL     string
+	Err     string // "" on success
+	Stats   zexec.Stats
+	Outputs int
+}
+
+// Option configures a Session.
+type Option func(*config) error
+
+type config struct {
+	bitmap bool
+	opt    zexec.OptLevel
+	metric vis.Metric
+	seed   int64
+}
+
+// WithBitmapBackend selects the roaring-bitmap column store instead of the
+// default row store.
+func WithBitmapBackend() Option {
+	return func(c *config) error {
+		c.bitmap = true
+		return nil
+	}
+}
+
+// WithOptLevel sets the SQL batching level (default Inter-Task, the
+// strongest).
+func WithOptLevel(level zexec.OptLevel) Option {
+	return func(c *config) error {
+		c.opt = level
+		return nil
+	}
+}
+
+// WithMetric sets the distance metric D by name: euclidean, dtw, kl, emd
+// (raw- prefix disables normalization).
+func WithMetric(name string) Option {
+	return func(c *config) error {
+		m, err := vis.MetricByName(name)
+		if err != nil {
+			return err
+		}
+		c.metric = m
+		return nil
+	}
+}
+
+// WithSeed makes R (k-means) and recommendations deterministic.
+func WithSeed(seed int64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// Open starts a session over an in-memory table.
+func Open(t *dataset.Table, opts ...Option) (*Session, error) {
+	cfg := config{opt: zexec.InterTask, metric: vis.DefaultMetric, seed: 1}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	var db engine.DB
+	if cfg.bitmap {
+		db = engine.NewBitmapStore(t)
+	} else {
+		db = engine.NewRowStore(t)
+	}
+	return &Session{db: db, table: t.Name, opt: cfg.opt, metric: cfg.metric, seed: cfg.seed}, nil
+}
+
+// OpenCSV starts a session over a CSV file.
+func OpenCSV(name, path string, opts ...Option) (*Session, error) {
+	t, err := dataset.ReadCSVFile(name, path)
+	if err != nil {
+		return nil, err
+	}
+	return Open(t, opts...)
+}
+
+// Table returns the session's table name.
+func (s *Session) Table() string { return s.table }
+
+// Query parses and executes a ZQL query.
+func (s *Session) Query(src string) (*zexec.Result, error) {
+	return s.QueryWithInputs(src, nil)
+}
+
+// QueryWithInputs executes a ZQL query supplying user-drawn visualizations
+// for its -f rows, keyed by name variable, as y-value series.
+func (s *Session) QueryWithInputs(src string, inputs map[string][]float64) (*zexec.Result, error) {
+	q, err := zql.Parse(src)
+	if err != nil {
+		s.record(src, nil, err)
+		return nil, err
+	}
+	opts := zexec.Options{Table: s.table, Opt: s.opt, Metric: s.metric, Seed: s.seed}
+	if len(inputs) > 0 {
+		opts.Inputs = make(map[string]*vis.Visualization, len(inputs))
+		for name, ys := range inputs {
+			opts.Inputs[name] = vis.FromFloats(ys)
+		}
+	}
+	res, err := zexec.Run(q, s.db, opts)
+	s.record(src, res, err)
+	return res, err
+}
+
+// Recommend returns up to k diverse trend recommendations for the given
+// axes, the recommendation-panel request of the front-end.
+func (s *Session) Recommend(x, y, z string, k int) ([]recommend.Recommendation, error) {
+	return recommend.Diverse(s.db, recommend.Request{
+		Table: s.table, X: x, Y: y, Z: z, K: k, Seed: s.seed,
+	}, s.metric)
+}
+
+// History returns the recorded query log, newest last.
+func (s *Session) History() []HistoryEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]HistoryEntry, len(s.history))
+	copy(out, s.history)
+	return out
+}
+
+func (s *Session) record(src string, res *zexec.Result, err error) {
+	e := HistoryEntry{When: time.Now(), ZQL: src}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	if res != nil {
+		e.Stats = res.Stats
+		e.Outputs = len(res.Outputs)
+	}
+	s.mu.Lock()
+	s.history = append(s.history, e)
+	s.mu.Unlock()
+}
+
+// Describe summarizes the session's table: name, rows, and columns with
+// kinds — the building-blocks panel's metadata.
+func (s *Session) Describe() string {
+	t := s.db.Table(s.table)
+	if t == nil {
+		return "(no table)"
+	}
+	out := fmt.Sprintf("%s: %d rows\n", t.Name, t.NumRows())
+	for _, c := range t.Columns() {
+		out += fmt.Sprintf("  %-20s %s\n", c.Field.Name, c.Field.Kind)
+	}
+	return out
+}

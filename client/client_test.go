@@ -1,0 +1,150 @@
+package client
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+	"repro/internal/zexec"
+)
+
+func testTable() *Session {
+	t := workload.Sales(workload.SalesConfig{Rows: 10000, Products: 8, Years: 8, Cities: 4, Seed: 2})
+	s, err := Open(t, WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+const risingQuery = `
+NAME | X      | Y         | Z                 | PROCESS
+f1   | 'year' | 'revenue' | v1 <- 'product'.* | v2 <- argmax(v1)[k=2] T(f1)
+*f2  | 'year' | 'revenue' | v2                |`
+
+func TestQueryEndToEnd(t *testing.T) {
+	s := testTable()
+	res, err := s.Query(risingQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 1 || res.Outputs[0].Len() != 2 {
+		t.Fatalf("outputs = %+v", res.Outputs)
+	}
+	if len(res.Bindings["v2"]) != 2 {
+		t.Errorf("v2 = %v", res.Bindings["v2"])
+	}
+}
+
+func TestQueryWithInputs(t *testing.T) {
+	s := testTable()
+	src := `
+NAME | X      | Y         | Z                 | PROCESS
+-f1  |        |           |                   |
+f2   | 'year' | 'revenue' | v1 <- 'product'.* | v2 <- argmin(v1)[k=1] D(f1, f2)
+*f3  | 'year' | 'revenue' | v2                |`
+	res, err := s.QueryWithInputs(src, map[string][]float64{
+		"f1": {1, 2, 3, 4, 5, 6, 7, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Bindings["v2"]
+	if len(got) != 1 {
+		t.Fatalf("v2 = %v", got)
+	}
+	// Products 0 and 4 rise (trendShape): the best match must be one of them.
+	if got[0] != "product0000" && got[0] != "product0004" {
+		t.Errorf("best match = %v, want a rising product", got)
+	}
+}
+
+func TestOptions(t *testing.T) {
+	tbl := workload.Sales(workload.SalesConfig{Rows: 2000, Products: 4, Years: 5, Cities: 2, Seed: 2})
+	s, err := Open(tbl, WithBitmapBackend(), WithOptLevel(zexec.NoOpt), WithMetric("dtw"), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(risingQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NoOpt issues one request per visualization.
+	if res.Stats.Requests < 4 {
+		t.Errorf("NoOpt requests = %d", res.Stats.Requests)
+	}
+	if _, err := Open(tbl, WithMetric("nope")); err == nil {
+		t.Error("bad metric should error")
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	s := testTable()
+	recs, err := s.Recommend("year", "revenue", "product", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Errorf("%d recommendations", len(recs))
+	}
+}
+
+func TestHistoryRecordsSuccessAndFailure(t *testing.T) {
+	s := testTable()
+	if _, err := s.Query(risingQuery); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query("garbage ~~~"); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	h := s.History()
+	if len(h) != 2 {
+		t.Fatalf("history = %d entries", len(h))
+	}
+	if h[0].Err != "" || h[0].Outputs != 1 || h[0].Stats.SQLQueries == 0 {
+		t.Errorf("success entry = %+v", h[0])
+	}
+	if h[1].Err == "" {
+		t.Errorf("failure entry = %+v", h[1])
+	}
+	// The returned slice is a copy.
+	h[0].ZQL = "mutated"
+	if s.History()[0].ZQL == "mutated" {
+		t.Error("History must return a copy")
+	}
+}
+
+func TestOpenCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	if err := os.WriteFile(path, []byte("product,year,sales\nchair,2014,10\nchair,2015,20\ndesk,2014,30\ndesk,2015,15\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenCSV("t", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(`
+NAME | X      | Y       | Z                 | PROCESS
+f1   | 'year' | 'sales' | v1 <- 'product'.* | v2 <- argany(v1)[t>0] T(f1)
+*f2  | 'year' | 'sales' | v2                |`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Bindings["v2"]; len(got) != 1 || got[0] != "chair" {
+		t.Errorf("rising products = %v, want [chair]", got)
+	}
+	if _, err := OpenCSV("t", filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := testTable()
+	d := s.Describe()
+	if !strings.Contains(d, "sales:") || !strings.Contains(d, "product") || !strings.Contains(d, "revenue") {
+		t.Errorf("describe = %q", d)
+	}
+}

@@ -1,0 +1,51 @@
+// Airline delays: the paper's Table 7.1 — find airports whose average
+// departure or weather delay has been increasing over the years, and plot
+// both delay measures for them. This is the query Figure 7.2 benchmarks;
+// here it also demonstrates the optimization levels side by side.
+//
+// Run with: go run ./examples/airlinedelays
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/render"
+	"repro/internal/zexec"
+	"repro/internal/zql"
+)
+
+func main() {
+	log.SetFlags(0)
+	table := experiments.AirlineDataset(experiments.ScaleSmall)
+	db := engine.NewRowStore(table)
+	src := experiments.Table71Query(table, 10)
+	q, err := zql.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Table 7.1 at each optimization level (same answers, fewer requests):")
+	var res *zexec.Result
+	for _, level := range []zexec.OptLevel{zexec.NoOpt, zexec.IntraLine, zexec.IntraTask, zexec.InterTask} {
+		res, err = zexec.Run(q, db, zexec.Options{Table: "airline", Opt: level})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-11s %3d SQL queries in %2d requests, query time %v\n",
+			level, res.Stats.SQLQueries, res.Stats.Requests, res.Stats.QueryTime)
+	}
+
+	fmt.Printf("\nairports with rising delays: %v\n\n", res.Bindings["v4"])
+	out := res.Outputs[0]
+	n := out.Len()
+	if n > 2 {
+		n = 2
+	}
+	fmt.Print(render.Gallery(out.Vis[:n], render.Config{Width: 40, Height: 8}))
+	if out.Len() > n {
+		fmt.Printf("... and %d more charts\n", out.Len()-n)
+	}
+}

@@ -1,0 +1,65 @@
+// Similarity search: the paper's Table 2.2 — the user sketches a trend line
+// in the front-end's drawing box and asks for the product whose sales
+// visualization looks most like it, plus Table 3.21's twist of also asking
+// for the most dissimilar product.
+//
+// Run with: go run ./examples/similaritysearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/engine"
+	"repro/internal/render"
+	"repro/internal/vis"
+	"repro/internal/workload"
+	"repro/internal/zexec"
+	"repro/internal/zql"
+)
+
+const query = `
+NAME | X      | Y         | Z                 | PROCESS
+-f1  |        |           |                   |
+f2   | 'year' | 'revenue' | v1 <- 'product'.* | (v2 <- argmin(v1)[k=1] D(f1, f2)), (v3 <- argmax(v1)[k=1] D(f1, f2))
+*f3  | 'year' | 'revenue' | v2                |
+*f4  | 'year' | 'revenue' | v3                |`
+
+func main() {
+	log.SetFlags(0)
+	table := workload.Sales(workload.SalesConfig{
+		Rows: 30000, Products: 16, Years: 10, Cities: 5, Seed: 3,
+	})
+	db := engine.NewBitmapStore(table)
+
+	// The user draws a steadily rising line (Figure 6.2's drawing box; here
+	// a plain y-value series).
+	drawn := vis.FromFloats([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+
+	q, err := zql.Parse(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := zexec.Run(q, db, zexec.Options{
+		Table:  "sales",
+		Inputs: map[string]*vis.Visualization{"f1": drawn},
+		// DTW instead of the default Euclidean: robust to time shifts.
+		Metric: mustMetric("dtw"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("most similar to the drawn rising line: %v\n", res.Bindings["v2"])
+	fmt.Printf("most dissimilar:                       %v\n\n", res.Bindings["v3"])
+	fmt.Print(render.Chart(res.Outputs[0].Vis[0], render.Config{Width: 40}))
+	fmt.Println()
+	fmt.Print(render.Chart(res.Outputs[1].Vis[0], render.Config{Width: 40}))
+}
+
+func mustMetric(name string) vis.Metric {
+	m, err := vis.MetricByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,86 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/vis"
+	"repro/internal/workload"
+)
+
+func tool() *Tool {
+	tb := workload.Housing(workload.HousingConfig{Cities: 40, States: 8, Years: 8, Seed: 4})
+	return New(engine.NewRowStore(tb), "housing")
+}
+
+func TestSpecifyAlphanumericOrder(t *testing.T) {
+	viss, err := tool().Specify("year", "SoldPrice", "city", nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viss) != 40 {
+		t.Fatalf("%d visualizations, want one per city", len(viss))
+	}
+	for i := 1; i < len(viss); i++ {
+		if viss[i].Slices[0].Value < viss[i-1].Slices[0].Value {
+			t.Fatal("not alphanumeric order")
+		}
+	}
+	if len(viss[0].Points) != 8 {
+		t.Errorf("%d points, want 8 years", len(viss[0].Points))
+	}
+}
+
+func TestSpecifyWithFilters(t *testing.T) {
+	viss, err := tool().Specify("year", "SoldPrice", "city",
+		[]Filter{{Attr: "state", Value: "state00"}}, "sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viss) != 5 {
+		t.Errorf("%d cities in state00, want 5 (40 cities / 8 states)", len(viss))
+	}
+	viss2, err := tool().Specify("year", "SoldPrice", "city",
+		[]Filter{{Attr: "year", Op: ">=", Value: "2008"}}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viss2[0].Points) >= 8 {
+		t.Errorf("numeric filter ignored: %d points", len(viss2[0].Points))
+	}
+}
+
+func TestSpecifyErrors(t *testing.T) {
+	tl := tool()
+	if _, err := tl.Specify("nope", "SoldPrice", "city", nil, ""); err == nil {
+		t.Error("missing column should error")
+	}
+	if _, err := New(engine.NewRowStore(), "none").Specify("a", "b", "c", nil, ""); err == nil {
+		t.Error("missing table should error")
+	}
+}
+
+func TestCompareEffortReproducesFinding1(t *testing.T) {
+	// The drawn pattern is a steep rise; rising cities are c%4==0, and the
+	// best match is very unlikely to be the alphanumerically first city.
+	eff, err := tool().CompareEffort("year", "SoldPrice", "city",
+		[]float64{0, 1, 2, 3, 4, 5, 6, 7}, vis.DefaultMetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.Candidates != 40 || eff.ZenvisageExamined != 1 {
+		t.Errorf("effort = %+v", eff)
+	}
+	if eff.BaselineExamined <= 1 {
+		t.Errorf("baseline examined %d charts; the target should not be first alphabetically", eff.BaselineExamined)
+	}
+	if eff.BaselineExamined <= eff.ZenvisageExamined {
+		t.Error("Finding 1's mechanism: baseline must examine more charts")
+	}
+	// The best match must be a planted riser (city000, city004, ...).
+	got := eff.BestMatch
+	idx := int(got[len(got)-2]-'0')*10 + int(got[len(got)-1]-'0')
+	if idx%4 != 0 {
+		t.Errorf("best match %s is not a rising city", got)
+	}
+}

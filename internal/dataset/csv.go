@@ -1,0 +1,122 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// ReadCSV loads a table from CSV with a header row. Column kinds are inferred
+// from the first maxSniff data rows: a column is int if every sampled cell
+// parses as int, float if every cell parses as a number, otherwise string.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	var records [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV row %d: %w", len(records)+2, err)
+		}
+		records = append(records, rec)
+	}
+	fields := make([]Field, len(header))
+	for j, h := range header {
+		fields[j] = Field{Name: h, Kind: sniffKind(records, j)}
+	}
+	t := NewTable(name, fields)
+	for _, rec := range records {
+		if len(rec) != len(fields) {
+			return nil, fmt.Errorf("dataset: CSV row has %d cells, want %d", len(rec), len(fields))
+		}
+		for j, cell := range rec {
+			switch fields[j].Kind {
+			case KindInt:
+				i, err := strconv.ParseInt(cell, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: column %q: %w", fields[j].Name, err)
+				}
+				t.cols[j].AppendInt(i)
+			case KindFloat:
+				f, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: column %q: %w", fields[j].Name, err)
+				}
+				t.cols[j].AppendFloat(f)
+			default:
+				t.cols[j].AppendString(cell)
+			}
+		}
+		t.nrows++
+	}
+	return t, nil
+}
+
+const maxSniff = 1000
+
+func sniffKind(records [][]string, col int) Kind {
+	n := len(records)
+	if n > maxSniff {
+		n = maxSniff
+	}
+	if n == 0 {
+		return KindString
+	}
+	allInt, allNum := true, true
+	for i := 0; i < n; i++ {
+		cell := records[i][col]
+		if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
+			allInt = false
+		}
+		if _, err := strconv.ParseFloat(cell, 64); err != nil {
+			allNum = false
+			break
+		}
+	}
+	switch {
+	case allInt:
+		return KindInt
+	case allNum:
+		return KindFloat
+	default:
+		return KindString
+	}
+}
+
+// ReadCSVFile loads a table from a CSV file on disk, naming it after path.
+func ReadCSVFile(name, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(name, f)
+}
+
+// WriteCSV serializes the table with a header row.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return err
+	}
+	rec := make([]string, t.NumCols())
+	for i := 0; i < t.NumRows(); i++ {
+		for j, c := range t.Columns() {
+			rec[j] = c.Value(i).String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,258 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Field describes one column of a table.
+type Field struct {
+	Name string
+	Kind Kind
+}
+
+// Column is the physical storage for one field. Categorical columns are
+// dictionary-encoded: codes[i] indexes into dict. Numeric columns use the
+// typed slices directly.
+type Column struct {
+	Field Field
+
+	codes  []int32
+	dict   []string
+	dictIx map[string]int32
+
+	ints   []int64
+	floats []float64
+}
+
+// NewColumn returns an empty column of the given field.
+func NewColumn(f Field) *Column {
+	c := &Column{Field: f}
+	if f.Kind == KindString {
+		c.dictIx = make(map[string]int32)
+	}
+	return c
+}
+
+// Len returns the number of rows stored.
+func (c *Column) Len() int {
+	switch c.Field.Kind {
+	case KindString:
+		return len(c.codes)
+	case KindInt:
+		return len(c.ints)
+	default:
+		return len(c.floats)
+	}
+}
+
+// AppendString appends a categorical value; panics on non-string columns.
+func (c *Column) AppendString(s string) {
+	code, ok := c.dictIx[s]
+	if !ok {
+		code = int32(len(c.dict))
+		c.dict = append(c.dict, s)
+		c.dictIx[s] = code
+	}
+	c.codes = append(c.codes, code)
+}
+
+// AppendInt appends an integer value.
+func (c *Column) AppendInt(i int64) { c.ints = append(c.ints, i) }
+
+// AppendFloat appends a float value.
+func (c *Column) AppendFloat(f float64) { c.floats = append(c.floats, f) }
+
+// Append appends a dynamically typed value, coercing it to the column kind.
+func (c *Column) Append(v Value) {
+	switch c.Field.Kind {
+	case KindString:
+		c.AppendString(v.String())
+	case KindInt:
+		c.AppendInt(v.Int())
+	default:
+		c.AppendFloat(v.Float())
+	}
+}
+
+// Value returns the cell at row i as a Value.
+func (c *Column) Value(i int) Value {
+	switch c.Field.Kind {
+	case KindString:
+		return SV(c.dict[c.codes[i]])
+	case KindInt:
+		return IV(c.ints[i])
+	default:
+		return FV(c.floats[i])
+	}
+}
+
+// Float returns the cell at row i coerced to float64. For categorical
+// columns it parses the dictionary entry.
+func (c *Column) Float(i int) float64 {
+	switch c.Field.Kind {
+	case KindInt:
+		return float64(c.ints[i])
+	case KindFloat:
+		return c.floats[i]
+	default:
+		return SV(c.dict[c.codes[i]]).Float()
+	}
+}
+
+// Code returns the dictionary code at row i; only valid for string columns.
+func (c *Column) Code(i int) int32 { return c.codes[i] }
+
+// Codes exposes the raw code slice of a categorical column for fast scans.
+func (c *Column) Codes() []int32 { return c.codes }
+
+// Ints exposes the raw int slice.
+func (c *Column) Ints() []int64 { return c.ints }
+
+// Floats exposes the raw float slice.
+func (c *Column) Floats() []float64 { return c.floats }
+
+// Dict returns the dictionary of a categorical column (code -> value).
+func (c *Column) Dict() []string { return c.dict }
+
+// CodeOf returns the dictionary code for s, or -1 if s never occurs.
+func (c *Column) CodeOf(s string) int32 {
+	if code, ok := c.dictIx[s]; ok {
+		return code
+	}
+	return -1
+}
+
+// Cardinality returns the number of distinct values of a categorical column.
+func (c *Column) Cardinality() int { return len(c.dict) }
+
+// DistinctSorted returns the sorted distinct values of the column. For
+// numeric columns this scans; for categorical it sorts the dictionary.
+func (c *Column) DistinctSorted() []Value {
+	switch c.Field.Kind {
+	case KindString:
+		vals := append([]string(nil), c.dict...)
+		sort.Strings(vals)
+		out := make([]Value, len(vals))
+		for i, s := range vals {
+			out[i] = SV(s)
+		}
+		return out
+	case KindInt:
+		seen := make(map[int64]struct{})
+		for _, v := range c.ints {
+			seen[v] = struct{}{}
+		}
+		keys := make([]int64, 0, len(seen))
+		for k := range seen {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		out := make([]Value, len(keys))
+		for i, k := range keys {
+			out[i] = IV(k)
+		}
+		return out
+	default:
+		seen := make(map[float64]struct{})
+		for _, v := range c.floats {
+			seen[v] = struct{}{}
+		}
+		keys := make([]float64, 0, len(seen))
+		for k := range seen {
+			keys = append(keys, k)
+		}
+		sort.Float64s(keys)
+		out := make([]Value, len(keys))
+		for i, k := range keys {
+			out[i] = FV(k)
+		}
+		return out
+	}
+}
+
+// Table is an immutable-after-build named relation.
+type Table struct {
+	Name   string
+	cols   []*Column
+	byName map[string]*Column
+	nrows  int
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, fields []Field) *Table {
+	t := &Table{Name: name, byName: make(map[string]*Column, len(fields))}
+	for _, f := range fields {
+		c := NewColumn(f)
+		t.cols = append(t.cols, c)
+		t.byName[f.Name] = c
+	}
+	return t
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.nrows }
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// Columns returns the columns in schema order.
+func (t *Table) Columns() []*Column { return t.cols }
+
+// Column returns the column named name, or nil.
+func (t *Table) Column(name string) *Column { return t.byName[name] }
+
+// HasColumn reports whether the table has a column named name.
+func (t *Table) HasColumn(name string) bool { _, ok := t.byName[name]; return ok }
+
+// ColumnNames returns the field names in schema order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		out[i] = c.Field.Name
+	}
+	return out
+}
+
+// AppendRow appends one tuple; values must match the schema arity.
+func (t *Table) AppendRow(vals ...Value) {
+	if len(vals) != len(t.cols) {
+		panic(fmt.Sprintf("dataset: AppendRow arity %d != schema arity %d", len(vals), len(t.cols)))
+	}
+	for i, v := range vals {
+		t.cols[i].Append(v)
+	}
+	t.nrows++
+}
+
+// Row materializes row i as a Row of Values.
+func (t *Table) Row(i int) Row {
+	r := make(Row, len(t.cols))
+	for j, c := range t.cols {
+		r[j] = c.Value(i)
+	}
+	return r
+}
+
+// CategoricalColumns returns the names of all string-kinded columns, the set
+// the bitmap back-end indexes by default.
+func (t *Table) CategoricalColumns() []string {
+	var out []string
+	for _, c := range t.cols {
+		if c.Field.Kind == KindString {
+			out = append(out, c.Field.Name)
+		}
+	}
+	return out
+}
+
+// MeasureColumns returns the names of all numeric columns.
+func (t *Table) MeasureColumns() []string {
+	var out []string
+	for _, c := range t.cols {
+		if c.Field.Kind != KindString {
+			out = append(out, c.Field.Name)
+		}
+	}
+	return out
+}

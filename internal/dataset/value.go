@@ -1,0 +1,160 @@
+// Package dataset provides the typed, columnar, in-memory relation that every
+// layer of zenvisage operates on: the SQL executors scan it, the bitmap store
+// indexes it, and the workload generators synthesize into it.
+//
+// A Table is a named collection of Columns sharing a row count. Categorical
+// (string) columns are dictionary-encoded so that the bitmap back-end can
+// build one roaring bitmap per distinct value, and measure columns are stored
+// as raw int64/float64 slices for fast aggregation.
+package dataset
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind is the runtime type of a column or scalar value.
+type Kind uint8
+
+const (
+	// KindString is a dictionary-encoded categorical column.
+	KindString Kind = iota
+	// KindInt is a 64-bit integer measure or ordinal column.
+	KindInt
+	// KindFloat is a 64-bit floating point measure column.
+	KindFloat
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a dynamically typed scalar. It is the currency of result sets and
+// predicate constants. The zero Value is the empty string.
+type Value struct {
+	Kind Kind
+	S    string
+	I    int64
+	F    float64
+}
+
+// NullValue reports a sentinel used for missing cells in pivoted results.
+var NullValue = Value{Kind: KindString, S: "\x00null"}
+
+// IsNull reports whether v is the missing-cell sentinel.
+func (v Value) IsNull() bool { return v.Kind == KindString && v.S == "\x00null" }
+
+// SV returns a string Value.
+func SV(s string) Value { return Value{Kind: KindString, S: s} }
+
+// IV returns an int Value.
+func IV(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// FV returns a float Value.
+func FV(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// Float returns the value coerced to float64. Strings parse if numeric,
+// otherwise 0.
+func (v Value) Float() float64 {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	default:
+		f, _ := strconv.ParseFloat(v.S, 64)
+		return f
+	}
+}
+
+// Int returns the value coerced to int64.
+func (v Value) Int() int64 {
+	switch v.Kind {
+	case KindInt:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	default:
+		i, _ := strconv.ParseInt(v.S, 10, 64)
+		return i
+	}
+}
+
+// String renders the value the way a CSV or result row would show it.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		if v.IsNull() {
+			return "NULL"
+		}
+		return v.S
+	}
+}
+
+// Equal reports whether two values compare equal, coercing numerics so that
+// IV(3) equals FV(3).
+func (v Value) Equal(o Value) bool {
+	if v.Kind == KindString || o.Kind == KindString {
+		if v.Kind != o.Kind {
+			return false
+		}
+		return v.S == o.S
+	}
+	return v.Float() == o.Float()
+}
+
+// Compare orders two values: numerics numerically, strings lexically.
+// Mixed string/numeric compares by the string rendering so sorting stays
+// total. Returns -1, 0, or +1.
+func (v Value) Compare(o Value) int {
+	if v.Kind != KindString && o.Kind != KindString {
+		a, b := v.Float(), o.Float()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(v.String(), o.String())
+}
+
+// ParseValue guesses the kind of a raw text cell: int, then float, then
+// string. Empty cells are the empty string.
+func ParseValue(s string) Value {
+	if s == "" {
+		return SV("")
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return IV(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return FV(f)
+	}
+	return SV(s)
+}
+
+// Row is one tuple of a result set.
+type Row []Value
+
+// Clone deep-copies the row.
+func (r Row) Clone() Row {
+	c := make(Row, len(r))
+	copy(c, r)
+	return c
+}

@@ -1,0 +1,341 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/minisql"
+	"repro/internal/roaring"
+)
+
+// BitmapStore is the in-memory "Roaring Bitmap Database" of the paper: a
+// column-oriented store where every distinct value of every indexed
+// categorical column has a roaring bitmap of the rows holding it. Conjunctive
+// equality / IN predicates are answered with bitmap intersections; predicates
+// the index cannot answer are post-filtered inside the candidate set.
+//
+// Beyond the paper's prototype, integer columns with at most
+// maxIntIndexCardinality distinct values are also bitmap-indexed, which
+// answers range predicates (<, <=, >, >=, BETWEEN) by unioning the value
+// bitmaps inside the range — the "multiple range based filters" extension
+// named in the paper's future work (Section 10.1).
+type BitmapStore struct {
+	tables     map[string]*dataset.Table
+	indexes    map[string]tableIndex
+	intIndexes map[string]map[string]*intIndex
+	stats      counters
+}
+
+// tableIndex maps column name -> dictionary code -> row bitmap.
+type tableIndex map[string][]*roaring.Bitmap
+
+// intIndex is a value-ordered bitmap index over a low-cardinality integer
+// column.
+type intIndex struct {
+	keys []int64 // sorted distinct values
+	bms  map[int64]*roaring.Bitmap
+}
+
+// maxIntIndexCardinality bounds the distinct-value count an integer column
+// may have and still be bitmap-indexed (the same 4096 constant roaring uses
+// for the array/bitmap container boundary).
+const maxIntIndexCardinality = 4096
+
+// NewBitmapStore builds a bitmap store, indexing all categorical columns of
+// every table (the paper's default policy: index categoricals, leave
+// measures unindexed) plus low-cardinality integer columns for range
+// predicates.
+func NewBitmapStore(tables ...*dataset.Table) *BitmapStore {
+	s := &BitmapStore{
+		tables:     make(map[string]*dataset.Table, len(tables)),
+		indexes:    make(map[string]tableIndex, len(tables)),
+		intIndexes: make(map[string]map[string]*intIndex, len(tables)),
+	}
+	for _, t := range tables {
+		s.tables[t.Name] = t
+		s.indexes[t.Name] = buildIndex(t)
+		s.intIndexes[t.Name] = buildIntIndexes(t)
+	}
+	return s
+}
+
+func buildIntIndexes(t *dataset.Table) map[string]*intIndex {
+	out := make(map[string]*intIndex)
+	for _, c := range t.Columns() {
+		if c.Field.Kind != dataset.KindInt {
+			continue
+		}
+		distinct := c.DistinctSorted()
+		if len(distinct) > maxIntIndexCardinality {
+			continue
+		}
+		ix := &intIndex{bms: make(map[int64]*roaring.Bitmap, len(distinct))}
+		for _, v := range distinct {
+			ix.keys = append(ix.keys, v.I)
+			ix.bms[v.I] = roaring.New()
+		}
+		for i, v := range c.Ints() {
+			ix.bms[v].Add(uint32(i))
+		}
+		for _, b := range ix.bms {
+			b.RunOptimize()
+		}
+		out[c.Field.Name] = ix
+	}
+	return out
+}
+
+// rangeUnion returns the union of value bitmaps for keys in [lo, hi]
+// (inclusive bounds, math.MinInt64/MaxInt64 for open ends).
+func (ix *intIndex) rangeUnion(lo, hi int64) *roaring.Bitmap {
+	res := roaring.New()
+	for _, k := range ix.keys {
+		if k < lo {
+			continue
+		}
+		if k > hi {
+			break
+		}
+		res = res.Or(ix.bms[k])
+	}
+	return res
+}
+
+func buildIndex(t *dataset.Table) tableIndex {
+	ix := make(tableIndex)
+	for _, name := range t.CategoricalColumns() {
+		c := t.Column(name)
+		bms := make([]*roaring.Bitmap, c.Cardinality())
+		for i := range bms {
+			bms[i] = roaring.New()
+		}
+		for i, code := range c.Codes() {
+			bms[code].Add(uint32(i))
+		}
+		for _, b := range bms {
+			b.RunOptimize()
+		}
+		ix[name] = bms
+	}
+	return ix
+}
+
+// Name identifies the back-end.
+func (s *BitmapStore) Name() string { return "bitmapstore" }
+
+// Table returns the named base table, or nil.
+func (s *BitmapStore) Table(name string) *dataset.Table { return s.tables[name] }
+
+// Counters returns cumulative execution statistics.
+func (s *BitmapStore) Counters() Counters { return s.stats.snapshot() }
+
+// IndexSizeBytes reports the total footprint of the bitmap indexes of a
+// table, for diagnostics.
+func (s *BitmapStore) IndexSizeBytes(table string) int {
+	n := 0
+	for _, bms := range s.indexes[table] {
+		for _, b := range bms {
+			n += b.SizeBytes()
+		}
+	}
+	return n
+}
+
+// planBitmap tries to answer a predicate entirely from the index. It returns
+// (bitmap, true) on success. total is the number of rows in the table,
+// needed to complement for NOT / !=.
+func (s *BitmapStore) planBitmap(t *dataset.Table, ix tableIndex, e minisql.Expr, total int) (*roaring.Bitmap, bool) {
+	switch x := e.(type) {
+	case *minisql.And:
+		parts := make([]*roaring.Bitmap, 0, len(x.Args))
+		for _, a := range x.Args {
+			b, ok := s.planBitmap(t, ix, a, total)
+			if !ok {
+				return nil, false
+			}
+			parts = append(parts, b)
+		}
+		return roaring.AndAll(parts...), true
+	case *minisql.Or:
+		res := roaring.New()
+		for _, a := range x.Args {
+			b, ok := s.planBitmap(t, ix, a, total)
+			if !ok {
+				return nil, false
+			}
+			res = res.Or(b)
+		}
+		return res, true
+	case *minisql.Not:
+		b, ok := s.planBitmap(t, ix, x.Arg, total)
+		if !ok {
+			return nil, false
+		}
+		return roaring.FromRange(0, uint32(total)).AndNot(b), true
+	case *minisql.Compare:
+		if bms, indexed := ix[x.Col]; indexed && x.Val.Kind == dataset.KindString {
+			switch x.Op {
+			case minisql.CmpEq:
+				code := t.Column(x.Col).CodeOf(x.Val.S)
+				if code < 0 {
+					return roaring.New(), true
+				}
+				return bms[code], true
+			case minisql.CmpNe:
+				code := t.Column(x.Col).CodeOf(x.Val.S)
+				all := roaring.FromRange(0, uint32(total))
+				if code < 0 {
+					return all, true
+				}
+				return all.AndNot(bms[code]), true
+			}
+			return nil, false
+		}
+		if ii, ok := s.intIndexes[t.Name][x.Col]; ok && x.Val.Kind != dataset.KindString {
+			return planIntCompare(ii, x, total), true
+		}
+		return nil, false
+	case *minisql.In:
+		if bms, indexed := ix[x.Col]; indexed {
+			res := roaring.New()
+			for _, v := range x.Vals {
+				if code := t.Column(x.Col).CodeOf(v.String()); code >= 0 {
+					res = res.Or(bms[code])
+				}
+			}
+			return res, true
+		}
+		if ii, ok := s.intIndexes[t.Name][x.Col]; ok {
+			res := roaring.New()
+			for _, v := range x.Vals {
+				if b, present := ii.bms[v.Int()]; present {
+					res = res.Or(b)
+				}
+			}
+			return res, true
+		}
+		return nil, false
+	case *minisql.Between:
+		ii, ok := s.intIndexes[t.Name][x.Col]
+		if !ok || x.Lo.Kind == dataset.KindString || x.Hi.Kind == dataset.KindString {
+			return nil, false
+		}
+		lo := int64(math.Ceil(x.Lo.Float()))
+		hi := int64(math.Floor(x.Hi.Float()))
+		return ii.rangeUnion(lo, hi), true
+	}
+	return nil, false
+}
+
+// planIntCompare answers a numeric comparison from an integer value index.
+func planIntCompare(ii *intIndex, x *minisql.Compare, total int) *roaring.Bitmap {
+	v := x.Val.Float()
+	switch x.Op {
+	case minisql.CmpEq:
+		if v == math.Trunc(v) {
+			if b, ok := ii.bms[int64(v)]; ok {
+				return b
+			}
+		}
+		return roaring.New()
+	case minisql.CmpNe:
+		all := roaring.FromRange(0, uint32(total))
+		if v == math.Trunc(v) {
+			if b, ok := ii.bms[int64(v)]; ok {
+				return all.AndNot(b)
+			}
+		}
+		return all
+	case minisql.CmpLt:
+		return ii.rangeUnion(math.MinInt64, int64(math.Ceil(v))-1)
+	case minisql.CmpLe:
+		return ii.rangeUnion(math.MinInt64, int64(math.Floor(v)))
+	case minisql.CmpGt:
+		return ii.rangeUnion(int64(math.Floor(v))+1, math.MaxInt64)
+	case minisql.CmpGe:
+		return ii.rangeUnion(int64(math.Ceil(v)), math.MaxInt64)
+	}
+	return nil
+}
+
+// Execute runs a parsed query. Fully indexable predicates iterate only the
+// bitmap; partially indexable conjunctions intersect the indexable legs and
+// post-filter the rest; everything else falls back to a scan.
+func (s *BitmapStore) Execute(q *minisql.Query) (*Result, error) {
+	t := s.tables[q.From]
+	if t == nil {
+		return nil, fmt.Errorf("engine: no table %q", q.From)
+	}
+	ix := s.indexes[q.From]
+	s.stats.queries.Add(1)
+	total := t.NumRows()
+
+	if q.Where == nil {
+		s.stats.rowsScanned.Add(int64(total))
+		return runQuery(t, q, func(yield func(int)) {
+			for i := 0; i < total; i++ {
+				yield(i)
+			}
+		})
+	}
+
+	if bm, ok := s.planBitmap(t, ix, q.Where, total); ok {
+		s.stats.rowsScanned.Add(int64(bm.Cardinality()))
+		return runQuery(t, q, func(yield func(int)) {
+			bm.Iterate(func(v uint32) { yield(int(v)) })
+		})
+	}
+
+	// Partial plan: split a top-level AND into indexable and residual legs.
+	if and, isAnd := q.Where.(*minisql.And); isAnd {
+		indexable := roaring.FromRange(0, uint32(total))
+		var residual []minisql.Expr
+		anyIndexed := false
+		for _, a := range and.Args {
+			if b, ok := s.planBitmap(t, ix, a, total); ok {
+				indexable = indexable.And(b)
+				anyIndexed = true
+			} else {
+				residual = append(residual, a)
+			}
+		}
+		if anyIndexed {
+			pred, err := compilePredicate(t, &minisql.And{Args: residual})
+			if err != nil {
+				return nil, err
+			}
+			s.stats.rowsScanned.Add(int64(indexable.Cardinality()))
+			return runQuery(t, q, func(yield func(int)) {
+				indexable.Iterate(func(v uint32) {
+					if pred(int(v)) {
+						yield(int(v))
+					}
+				})
+			})
+		}
+	}
+
+	// Fallback: full scan, same as RowStore.
+	pred, err := compilePredicate(t, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.rowsScanned.Add(int64(total))
+	return runQuery(t, q, func(yield func(int)) {
+		for i := 0; i < total; i++ {
+			if pred(i) {
+				yield(i)
+			}
+		}
+	})
+}
+
+// ExecuteSQL parses and runs SQL text.
+func (s *BitmapStore) ExecuteSQL(sql string) (*Result, error) {
+	q, err := minisql.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.Execute(q)
+}

@@ -1,0 +1,282 @@
+// Package engine executes minisql queries against dataset tables. It provides
+// the paper's two storage back-ends behind one interface:
+//
+//   - RowStore: a full-scan executor with hash aggregation, standing in for
+//     the PostgreSQL back-end of the paper,
+//   - BitmapStore: a column store with one roaring bitmap per distinct value
+//     of each indexed categorical column, standing in for zenvisage's
+//     "Roaring Bitmap Database".
+//
+// Both back-ends share the projection / grouping / aggregation / ordering
+// pipeline; they differ only in how they produce the set of matching rows,
+// which is exactly the axis the paper's Figure 7.5 experiment measures.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/minisql"
+)
+
+// rowPredicate tests whether table row i satisfies a predicate.
+type rowPredicate func(i int) bool
+
+// compilePredicate resolves column references once and returns a closure
+// evaluated per row. A nil expr compiles to an always-true predicate.
+func compilePredicate(t *dataset.Table, e minisql.Expr) (rowPredicate, error) {
+	if e == nil {
+		return func(int) bool { return true }, nil
+	}
+	switch x := e.(type) {
+	case *minisql.And:
+		preds := make([]rowPredicate, len(x.Args))
+		for i, a := range x.Args {
+			p, err := compilePredicate(t, a)
+			if err != nil {
+				return nil, err
+			}
+			preds[i] = p
+		}
+		return func(i int) bool {
+			for _, p := range preds {
+				if !p(i) {
+					return false
+				}
+			}
+			return true
+		}, nil
+	case *minisql.Or:
+		preds := make([]rowPredicate, len(x.Args))
+		for i, a := range x.Args {
+			p, err := compilePredicate(t, a)
+			if err != nil {
+				return nil, err
+			}
+			preds[i] = p
+		}
+		return func(i int) bool {
+			for _, p := range preds {
+				if p(i) {
+					return true
+				}
+			}
+			return false
+		}, nil
+	case *minisql.Not:
+		p, err := compilePredicate(t, x.Arg)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) bool { return !p(i) }, nil
+	case *minisql.Compare:
+		return compileCompare(t, x)
+	case *minisql.In:
+		return compileIn(t, x)
+	case *minisql.Like:
+		return compileLike(t, x)
+	case *minisql.Between:
+		return compileBetween(t, x)
+	}
+	return nil, fmt.Errorf("engine: unsupported predicate %T", e)
+}
+
+func lookupColumn(t *dataset.Table, name string) (*dataset.Column, error) {
+	c := t.Column(name)
+	if c == nil {
+		return nil, fmt.Errorf("engine: table %q has no column %q", t.Name, name)
+	}
+	return c, nil
+}
+
+func compileCompare(t *dataset.Table, x *minisql.Compare) (rowPredicate, error) {
+	c, err := lookupColumn(t, x.Col)
+	if err != nil {
+		return nil, err
+	}
+	if c.Field.Kind == dataset.KindString && x.Val.Kind == dataset.KindString {
+		// Dictionary fast path for equality on categorical columns.
+		switch x.Op {
+		case minisql.CmpEq:
+			code := c.CodeOf(x.Val.S)
+			if code < 0 {
+				return func(int) bool { return false }, nil
+			}
+			codes := c.Codes()
+			return func(i int) bool { return codes[i] == code }, nil
+		case minisql.CmpNe:
+			code := c.CodeOf(x.Val.S)
+			codes := c.Codes()
+			return func(i int) bool { return codes[i] != code }, nil
+		}
+	}
+	if c.Field.Kind != dataset.KindString && x.Val.Kind != dataset.KindString {
+		want := x.Val.Float()
+		op := x.Op
+		return func(i int) bool { return cmpFloat(c.Float(i), want, op) }, nil
+	}
+	// General path: Value comparison.
+	op := x.Op
+	val := x.Val
+	return func(i int) bool {
+		cmp := c.Value(i).Compare(val)
+		switch op {
+		case minisql.CmpEq:
+			return cmp == 0 && c.Value(i).Equal(val)
+		case minisql.CmpNe:
+			return !c.Value(i).Equal(val)
+		case minisql.CmpLt:
+			return cmp < 0
+		case minisql.CmpLe:
+			return cmp <= 0
+		case minisql.CmpGt:
+			return cmp > 0
+		case minisql.CmpGe:
+			return cmp >= 0
+		}
+		return false
+	}, nil
+}
+
+func cmpFloat(a, b float64, op minisql.CmpOp) bool {
+	switch op {
+	case minisql.CmpEq:
+		return a == b
+	case minisql.CmpNe:
+		return a != b
+	case minisql.CmpLt:
+		return a < b
+	case minisql.CmpLe:
+		return a <= b
+	case minisql.CmpGt:
+		return a > b
+	case minisql.CmpGe:
+		return a >= b
+	}
+	return false
+}
+
+func compileIn(t *dataset.Table, x *minisql.In) (rowPredicate, error) {
+	c, err := lookupColumn(t, x.Col)
+	if err != nil {
+		return nil, err
+	}
+	if c.Field.Kind == dataset.KindString {
+		want := make(map[int32]bool, len(x.Vals))
+		for _, v := range x.Vals {
+			if code := c.CodeOf(v.String()); code >= 0 {
+				want[code] = true
+			}
+		}
+		codes := c.Codes()
+		return func(i int) bool { return want[codes[i]] }, nil
+	}
+	want := make(map[float64]bool, len(x.Vals))
+	for _, v := range x.Vals {
+		want[v.Float()] = true
+	}
+	return func(i int) bool { return want[c.Float(i)] }, nil
+}
+
+func compileBetween(t *dataset.Table, x *minisql.Between) (rowPredicate, error) {
+	c, err := lookupColumn(t, x.Col)
+	if err != nil {
+		return nil, err
+	}
+	if c.Field.Kind != dataset.KindString {
+		lo, hi := x.Lo.Float(), x.Hi.Float()
+		return func(i int) bool {
+			v := c.Float(i)
+			return v >= lo && v <= hi
+		}, nil
+	}
+	lo, hi := x.Lo, x.Hi
+	return func(i int) bool {
+		v := c.Value(i)
+		return v.Compare(lo) >= 0 && v.Compare(hi) <= 0
+	}, nil
+}
+
+func compileLike(t *dataset.Table, x *minisql.Like) (rowPredicate, error) {
+	c, err := lookupColumn(t, x.Col)
+	if err != nil {
+		return nil, err
+	}
+	m := compileLikeMatcher(x.Pattern)
+	if c.Field.Kind == dataset.KindString {
+		// Evaluate the pattern once per dictionary entry, not per row.
+		dict := c.Dict()
+		match := make([]bool, len(dict))
+		for i, s := range dict {
+			match[i] = m(s)
+		}
+		codes := c.Codes()
+		return func(i int) bool { return match[codes[i]] }, nil
+	}
+	return func(i int) bool { return m(c.Value(i).String()) }, nil
+}
+
+// compileLikeMatcher builds a matcher for a SQL LIKE pattern, where %
+// matches any run of characters and _ matches exactly one.
+func compileLikeMatcher(pattern string) func(string) bool {
+	// Split on % into literal/underscore segments, then greedy match.
+	segs := strings.Split(pattern, "%")
+	return func(s string) bool { return likeMatch(s, segs, len(segs) == 1) }
+}
+
+// likeMatch matches s against segments separated by % wildcards. exact means
+// the pattern had no %, so the whole string must be consumed by segs[0].
+func likeMatch(s string, segs []string, exact bool) bool {
+	if exact {
+		return matchSegment(s, segs[0]) && len(s) == len(segs[0])
+	}
+	// First segment is anchored at the start.
+	first := segs[0]
+	if len(s) < len(first) || !matchSegment(s[:len(first)], first) {
+		return false
+	}
+	s = s[len(first):]
+	// Last segment is anchored at the end.
+	last := segs[len(segs)-1]
+	if len(s) < len(last) || !matchSegment(s[len(s)-len(last):], last) {
+		return false
+	}
+	rest := s[:len(s)-len(last)]
+	// Middle segments float: find each in order.
+	for _, seg := range segs[1 : len(segs)-1] {
+		idx := findSegment(rest, seg)
+		if idx < 0 {
+			return false
+		}
+		rest = rest[idx+len(seg):]
+	}
+	return true
+}
+
+// matchSegment matches a pattern segment (literals and _) against an
+// equal-length prefix of s.
+func matchSegment(s, seg string) bool {
+	if len(s) < len(seg) {
+		return false
+	}
+	for i := 0; i < len(seg); i++ {
+		if seg[i] != '_' && seg[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// findSegment returns the first index where seg matches within s, or -1.
+func findSegment(s, seg string) int {
+	if seg == "" {
+		return 0
+	}
+	for i := 0; i+len(seg) <= len(s); i++ {
+		if matchSegment(s[i:], seg) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/minisql"
+)
+
+// RowStore is a full-scan executor: every query visits every row and
+// evaluates the compiled predicate. It models the behaviour of the paper's
+// PostgreSQL back-end at the granularity the experiments care about (a fixed
+// per-query cost plus a per-row scan cost, unaffected by selectivity).
+type RowStore struct {
+	tables map[string]*dataset.Table
+	stats  counters
+}
+
+// NewRowStore builds a row store over the given base tables.
+func NewRowStore(tables ...*dataset.Table) *RowStore {
+	s := &RowStore{tables: make(map[string]*dataset.Table, len(tables))}
+	for _, t := range tables {
+		s.tables[t.Name] = t
+	}
+	return s
+}
+
+// Name identifies the back-end.
+func (s *RowStore) Name() string { return "rowstore" }
+
+// Table returns the named base table, or nil.
+func (s *RowStore) Table(name string) *dataset.Table { return s.tables[name] }
+
+// Counters returns cumulative execution statistics.
+func (s *RowStore) Counters() Counters { return s.stats.snapshot() }
+
+// Execute runs a parsed query by scanning the base table.
+func (s *RowStore) Execute(q *minisql.Query) (*Result, error) {
+	t := s.tables[q.From]
+	if t == nil {
+		return nil, fmt.Errorf("engine: no table %q", q.From)
+	}
+	pred, err := compilePredicate(t, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.queries.Add(1)
+	s.stats.rowsScanned.Add(int64(t.NumRows()))
+	iter := func(yield func(int)) {
+		for i, n := 0, t.NumRows(); i < n; i++ {
+			if pred(i) {
+				yield(i)
+			}
+		}
+	}
+	return runQuery(t, q, iter)
+}
+
+// ExecuteSQL parses and runs SQL text.
+func (s *RowStore) ExecuteSQL(sql string) (*Result, error) {
+	q, err := minisql.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.Execute(q)
+}

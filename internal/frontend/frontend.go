@@ -1,0 +1,183 @@
+// Package frontend implements the query-building logic of zenvisage's drag
+// and drop interface (Section 6.1): the user drags attributes onto the x-,
+// y-, and z-axis placeholders, optionally draws a trend or picks a built-in
+// exploration task, and "the ZQL front-end internally translates the
+// selections in the drawing into a ZQL query and submits it to the back-end".
+// This package is that translation — a Spec struct in, ZQL text out — minus
+// the browser chrome.
+package frontend
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TaskKind is one of the built-in exploration tasks exposed as buttons on
+// the building-blocks panel ("for these data exploration queries, the user
+// does not even need to compose ZQL queries; simply clicking the right
+// button will do").
+type TaskKind int
+
+// Built-in tasks.
+const (
+	// TaskNone just displays the selected visualizations.
+	TaskNone TaskKind = iota
+	// TaskSimilarity finds the K slices most similar to the drawn trend.
+	TaskSimilarity
+	// TaskDissimilarity finds the K slices least like the drawn trend.
+	TaskDissimilarity
+	// TaskRepresentative finds K representative slices.
+	TaskRepresentative
+	// TaskOutlier finds K outlier slices (two-level, as in Table 3.20).
+	TaskOutlier
+	// TaskRisingTrends filters to slices with a positive overall trend.
+	TaskRisingTrends
+	// TaskFallingTrends filters to slices with a negative overall trend.
+	TaskFallingTrends
+)
+
+// Filter is one row of the filters panel.
+type Filter struct {
+	Attr  string
+	Op    string // =, !=, <, <=, >, >=, LIKE
+	Value string // quoted as a string unless numeric
+}
+
+// Spec is the state of the drawing box and panels.
+type Spec struct {
+	X, Y    string
+	Z       string // category attribute; "" for a single visualization
+	ZValue  string // optional fixed slice value
+	Filters []Filter
+	VizType string // bar, line, scatterplot; "" = rule of thumb
+	Agg     string // sum, avg...; "" = default
+	Task    TaskKind
+	K       int       // top-k for tasks; default 10
+	Drawn   []float64 // the user-drawn trend for (dis)similarity tasks
+}
+
+// ToZQL translates the interface state into ZQL text plus the user-input
+// series keyed by name variable (for zexec.Options.Inputs).
+func (s *Spec) ToZQL() (string, map[string][]float64, error) {
+	if s.X == "" || s.Y == "" {
+		return "", nil, fmt.Errorf("frontend: drag attributes onto both the x- and y-axis placeholders")
+	}
+	if (s.Task == TaskSimilarity || s.Task == TaskDissimilarity) && len(s.Drawn) < 2 {
+		return "", nil, fmt.Errorf("frontend: the similarity tasks need a drawn trend")
+	}
+	if s.Task != TaskNone && s.Z == "" {
+		return "", nil, fmt.Errorf("frontend: exploration tasks need a z-axis (category) attribute")
+	}
+	k := s.K
+	if k <= 0 {
+		k = 10
+	}
+	cons := s.constraints()
+	viz := s.viz()
+	zIter := fmt.Sprintf("v1 <- '%s'.*", s.Z)
+
+	var b strings.Builder
+	b.WriteString("NAME | X | Y | Z | CONSTRAINTS | VIZ | PROCESS\n")
+	rowf := func(name, x, y, z, process string) {
+		fmt.Fprintf(&b, "%s | %s | %s | %s | %s | %s | %s\n", name, x, y, z, cons, viz, process)
+	}
+	qx, qy := "'"+s.X+"'", "'"+s.Y+"'"
+	inputs := map[string][]float64{}
+
+	switch s.Task {
+	case TaskNone:
+		z := ""
+		switch {
+		case s.ZValue != "" && s.Z != "":
+			z = fmt.Sprintf("'%s'.'%s'", s.Z, s.ZValue)
+		case s.Z != "":
+			z = zIter
+		}
+		rowf("*f1", qx, qy, z, "")
+	case TaskSimilarity, TaskDissimilarity:
+		mech := "argmin"
+		if s.Task == TaskDissimilarity {
+			mech = "argmax"
+		}
+		inputs["f1"] = s.Drawn
+		b.WriteString("-f1 |  |  |  |  |  | \n")
+		rowf("f2", qx, qy, zIter, fmt.Sprintf("v2 <- %s(v1)[k=%d] D(f1, f2)", mech, k))
+		rowf("*f3", qx, qy, "v2", "")
+	case TaskRepresentative:
+		rowf("f1", qx, qy, zIter, fmt.Sprintf("v2 <- R(%d, v1, f1)", k))
+		rowf("*f2", qx, qy, "v2", "")
+	case TaskOutlier:
+		// Table 3.20's two-level pattern: representatives, then the k slices
+		// farthest from their nearest representative.
+		rowf("f1", qx, qy, zIter, fmt.Sprintf("v2 <- R(%d, v1, f1)", defaultRepK(k)))
+		rowf("f2", qx, qy, "v2", fmt.Sprintf("v3 <- argmax(v1)[k=%d] min(v2) D(f1, f2)", k))
+		rowf("*f3", qx, qy, "v3", "")
+	case TaskRisingTrends:
+		rowf("f1", qx, qy, zIter, "v2 <- argany(v1)[t>0] T(f1)")
+		rowf("*f2", qx, qy, "v2", "")
+	case TaskFallingTrends:
+		rowf("f1", qx, qy, zIter, "v2 <- argany(v1)[t<0] T(f1)")
+		rowf("*f2", qx, qy, "v2", "")
+	default:
+		return "", nil, fmt.Errorf("frontend: unknown task %d", s.Task)
+	}
+	if len(inputs) == 0 {
+		inputs = nil
+	}
+	return b.String(), inputs, nil
+}
+
+func defaultRepK(k int) int {
+	if k < 5 {
+		return k
+	}
+	return 5
+}
+
+func (s *Spec) viz() string {
+	if s.VizType == "" && s.Agg == "" {
+		return ""
+	}
+	ty := s.VizType
+	if ty == "" {
+		ty = "bar"
+	}
+	if s.Agg == "" {
+		return ty
+	}
+	return fmt.Sprintf("%s.(y=agg('%s'))", ty, s.Agg)
+}
+
+func (s *Spec) constraints() string {
+	parts := make([]string, 0, len(s.Filters))
+	for _, f := range s.Filters {
+		val := f.Value
+		if !isNumeric(val) {
+			val = "'" + strings.ReplaceAll(val, "'", "''") + "'"
+		}
+		op := f.Op
+		if op == "" {
+			op = "="
+		}
+		parts = append(parts, fmt.Sprintf("%s %s %s", f.Attr, op, val))
+	}
+	return strings.Join(parts, " AND ")
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot := false
+	for i, c := range s {
+		switch {
+		case c >= '0' && c <= '9':
+		case c == '-' && i == 0:
+		case c == '.' && !dot:
+			dot = true
+		default:
+			return false
+		}
+	}
+	return true
+}

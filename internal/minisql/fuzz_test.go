@@ -1,0 +1,33 @@
+package minisql
+
+import "testing"
+
+// FuzzParse asserts the SQL parser never panics and that accepted queries
+// render back to SQL that re-parses to the same canonical text (a full
+// round-trip invariant, stronger than mere acceptance).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT year, SUM(sales) FROM sales WHERE product='chair' GROUP BY year ORDER BY year",
+		"SELECT BIN(weight, 20), SUM(sales) AS s FROM r GROUP BY BIN(weight, 20) LIMIT 5",
+		"SELECT a FROM r WHERE a IN ('x','y') AND b LIKE '02%' OR NOT (c BETWEEN 1 AND 5)",
+		"SELECT COUNT(*) FROM r WHERE x != -3.5",
+		"select a from r where p = 'O''Brien'",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := q.SQL()
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("canonical SQL does not reparse: %q -> %q: %v", src, text, err)
+		}
+		if q2.SQL() != text {
+			t.Fatalf("SQL rendering not canonical: %q -> %q", text, q2.SQL())
+		}
+	})
+}

@@ -1,0 +1,203 @@
+package minisql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseBasicSelect(t *testing.T) {
+	q := mustParse(t, "SELECT year, SUM(sales) FROM sales WHERE product='chair' GROUP BY year ORDER BY year")
+	if len(q.Select) != 2 || q.Select[0].Col != "year" || q.Select[1].Agg != AggSum || q.Select[1].Col != "sales" {
+		t.Errorf("select = %+v", q.Select)
+	}
+	if q.From != "sales" {
+		t.Errorf("from = %q", q.From)
+	}
+	cmp, ok := q.Where.(*Compare)
+	if !ok || cmp.Col != "product" || cmp.Op != CmpEq || cmp.Val.S != "chair" {
+		t.Errorf("where = %#v", q.Where)
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Col != "year" {
+		t.Errorf("group by = %+v", q.GroupBy)
+	}
+	if len(q.OrderBy) != 1 || q.OrderBy[0].Col != "year" || q.OrderBy[0].Desc {
+		t.Errorf("order by = %+v", q.OrderBy)
+	}
+	if q.Limit != -1 {
+		t.Errorf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseMultiAggAndAlias(t *testing.T) {
+	q := mustParse(t, "SELECT year, SUM(sales) AS s, AVG(profit) AS p, COUNT(*) FROM r GROUP BY year")
+	if q.Select[1].Alias != "s" || q.Select[2].Agg != AggAvg || q.Select[3].Agg != AggCount || q.Select[3].Col != "*" {
+		t.Errorf("select = %+v", q.Select)
+	}
+	if q.Select[1].OutName() != "s" {
+		t.Errorf("OutName = %q", q.Select[1].OutName())
+	}
+	if q.Select[3].OutName() != "COUNT(*)" {
+		t.Errorf("OutName = %q", q.Select[3].OutName())
+	}
+}
+
+func TestParseBin(t *testing.T) {
+	q := mustParse(t, "SELECT BIN(weight, 20), SUM(sales) FROM r GROUP BY BIN(weight, 20)")
+	if q.Select[0].Bin != 20 || q.Select[0].Col != "weight" {
+		t.Errorf("select bin = %+v", q.Select[0])
+	}
+	if q.GroupBy[0].Bin != 20 {
+		t.Errorf("group bin = %+v", q.GroupBy[0])
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	q := mustParse(t, "SELECT a FROM r WHERE a IN ('x','y') AND b LIKE '02%' AND c BETWEEN 1 AND 5 AND NOT (d > 3 OR e != 'z')")
+	and, ok := q.Where.(*And)
+	if !ok || len(and.Args) != 4 {
+		t.Fatalf("where = %#v", q.Where)
+	}
+	in := and.Args[0].(*In)
+	if in.Col != "a" || len(in.Vals) != 2 || in.Vals[1].S != "y" {
+		t.Errorf("in = %+v", in)
+	}
+	like := and.Args[1].(*Like)
+	if like.Pattern != "02%" {
+		t.Errorf("like = %+v", like)
+	}
+	btw := and.Args[2].(*Between)
+	if btw.Lo.I != 1 || btw.Hi.I != 5 {
+		t.Errorf("between = %+v", btw)
+	}
+	not := and.Args[3].(*Not)
+	or, ok := not.Arg.(*Or)
+	if !ok || len(or.Args) != 2 {
+		t.Errorf("not/or = %#v", not.Arg)
+	}
+}
+
+func TestParseLimitAndDesc(t *testing.T) {
+	q := mustParse(t, "SELECT a FROM r ORDER BY a DESC, b ASC LIMIT 10")
+	if !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Errorf("order = %+v", q.OrderBy)
+	}
+	if q.Limit != 10 {
+		t.Errorf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseNumericLiterals(t *testing.T) {
+	q := mustParse(t, "SELECT a FROM r WHERE x = -5 AND y = 2.75")
+	and := q.Where.(*And)
+	if v := and.Args[0].(*Compare).Val; v.Kind != dataset.KindInt || v.I != -5 {
+		t.Errorf("neg literal = %#v", v)
+	}
+	if v := and.Args[1].(*Compare).Val; v.Kind != dataset.KindFloat || v.F != 2.75 {
+		t.Errorf("float literal = %#v", v)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q := mustParse(t, "SELECT a FROM r WHERE p = 'O''Brien'")
+	if got := q.Where.(*Compare).Val.S; got != "O'Brien" {
+		t.Errorf("escaped string = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM r",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM r WHERE",
+		"SELECT a FROM r WHERE a",
+		"SELECT a FROM r WHERE a = ",
+		"SELECT a FROM r LIMIT x",
+		"SELECT a FROM r GROUP",
+		"SELECT a FROM r trailing",
+		"SELECT a FROM r WHERE a = 'unterminated",
+		"SELECT BIN(a) FROM r",
+		"SELECT a FROM r WHERE a LIKE 5",
+		"SELECT a FROM r WHERE a IN ()",
+		"SELECT a FROM r WHERE a ~ 3",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestSQLRoundTrip(t *testing.T) {
+	srcs := []string{
+		"SELECT year, SUM(sales) AS s FROM sales WHERE product = 'chair' AND location = 'US' GROUP BY year ORDER BY year",
+		"SELECT a FROM r WHERE a IN ('x', 'y') OR b BETWEEN 1 AND 2",
+		"SELECT BIN(weight, 20), SUM(sales) FROM r GROUP BY BIN(weight, 20) ORDER BY s DESC LIMIT 5",
+		"SELECT a FROM r WHERE NOT (a = 1)",
+		"SELECT COUNT(*) FROM r",
+	}
+	for _, src := range srcs {
+		q1 := mustParse(t, src)
+		text := q1.SQL()
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse of %q (%q): %v", src, text, err)
+		}
+		if q2.SQL() != text {
+			t.Errorf("SQL not canonical: %q -> %q", text, q2.SQL())
+		}
+	}
+}
+
+func TestQueryColumns(t *testing.T) {
+	q := mustParse(t, "SELECT year, SUM(sales) FROM r WHERE product='x' AND location IN ('a') GROUP BY year, month")
+	got := q.Columns()
+	want := []string{"year", "sales", "month", "product", "location"}
+	if len(got) != len(want) {
+		t.Fatalf("columns = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("columns = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	q := mustParse(t, "select year, sum(sales) from r where a='b' group by year order by year desc limit 3")
+	if q.Select[1].Agg != AggSum || !q.OrderBy[0].Desc || q.Limit != 3 {
+		t.Errorf("case-insensitive parse broken: %+v", q)
+	}
+}
+
+func TestParseAggNames(t *testing.T) {
+	for name, want := range map[string]AggFunc{"sum": AggSum, "AVG": AggAvg, "mean": AggAvg, "count": AggCount, "min": AggMin, "max": AggMax} {
+		got, err := ParseAgg(name)
+		if err != nil || got != want {
+			t.Errorf("ParseAgg(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseAgg("median"); err == nil {
+		t.Error("ParseAgg(median) should fail")
+	}
+}
+
+func TestExprSQLQuoting(t *testing.T) {
+	e := &Compare{Col: "p", Op: CmpEq, Val: dataset.SV("O'Brien")}
+	if !strings.Contains(e.SQL(), "O''Brien") {
+		t.Errorf("quote escaping broken: %s", e.SQL())
+	}
+}

@@ -1,0 +1,397 @@
+package minisql
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/dataset"
+)
+
+// Parse parses a single SELECT statement of the supported subset.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("trailing input starting with %q", p.peek().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("minisql: at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if t := p.peek(); t.kind == tokSymbol && t.text == sym {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return p.errorf("expected %q, got %q", sym, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if t := p.peek(); t.kind == tokIdent {
+		p.i++
+		return t.text, nil
+	}
+	return "", p.errorf("expected identifier, got %q", p.peek().text)
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	q.From = from
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			gk, err := p.parseGroupKey()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, gk)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			oi := OrderItem{Col: col}
+			if p.acceptKeyword("DESC") {
+				oi.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			q.OrderBy = append(q.OrderBy, oi)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errorf("expected LIMIT count, got %q", t.text)
+		}
+		p.i++
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad LIMIT %q", t.text)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+var aggKeywords = map[string]AggFunc{
+	"SUM": AggSum, "AVG": AggAvg, "COUNT": AggCount, "MIN": AggMin, "MAX": AggMax,
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	var item SelectItem
+	t := p.peek()
+	if t.kind == tokKeyword {
+		if agg, ok := aggKeywords[t.text]; ok {
+			p.i++
+			if err := p.expectSymbol("("); err != nil {
+				return item, err
+			}
+			item.Agg = agg
+			if agg == AggCount && p.acceptSymbol("*") {
+				item.Col = "*"
+			} else {
+				inner, err := p.parseColOrBin()
+				if err != nil {
+					return item, err
+				}
+				item.Col, item.Bin = inner.Col, inner.Bin
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return item, err
+			}
+			return p.finishAlias(item)
+		}
+		if t.text == "BIN" {
+			gk, err := p.parseColOrBin()
+			if err != nil {
+				return item, err
+			}
+			item.Col, item.Bin = gk.Col, gk.Bin
+			return p.finishAlias(item)
+		}
+	}
+	col, err := p.expectIdent()
+	if err != nil {
+		return item, err
+	}
+	item.Col = col
+	return p.finishAlias(item)
+}
+
+func (p *parser) finishAlias(item SelectItem) (SelectItem, error) {
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return item, err
+		}
+		item.Alias = alias
+	}
+	return item, nil
+}
+
+// parseColOrBin parses either `col` or `BIN(col, width)`.
+func (p *parser) parseColOrBin() (GroupKey, error) {
+	if p.acceptKeyword("BIN") {
+		if err := p.expectSymbol("("); err != nil {
+			return GroupKey{}, err
+		}
+		col, err := p.expectIdent()
+		if err != nil {
+			return GroupKey{}, err
+		}
+		if err := p.expectSymbol(","); err != nil {
+			return GroupKey{}, err
+		}
+		t := p.peek()
+		if t.kind != tokNumber {
+			return GroupKey{}, p.errorf("expected bin width, got %q", t.text)
+		}
+		p.i++
+		w, err := strconv.ParseFloat(t.text, 64)
+		if err != nil || w <= 0 {
+			return GroupKey{}, p.errorf("bad bin width %q", t.text)
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return GroupKey{}, err
+		}
+		return GroupKey{Col: col, Bin: w}, nil
+	}
+	col, err := p.expectIdent()
+	if err != nil {
+		return GroupKey{}, err
+	}
+	return GroupKey{Col: col}, nil
+}
+
+func (p *parser) parseGroupKey() (GroupKey, error) { return p.parseColOrBin() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	args := []Expr{left}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, right)
+	}
+	if len(args) == 1 {
+		return left, nil
+	}
+	return &Or{Args: args}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	args := []Expr{left}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, right)
+	}
+	if len(args) == 1 {
+		return left, nil
+	}
+	return &And{Args: args}, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		arg, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Arg: arg}, nil
+	}
+	if p.acceptSymbol("(") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseLiteral() (dataset.Value, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		p.i++
+		return dataset.SV(t.text), nil
+	case tokNumber:
+		p.i++
+		return dataset.ParseValue(t.text), nil
+	}
+	return dataset.Value{}, p.errorf("expected literal, got %q", t.text)
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	col, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("IN") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var vals []dataset.Value
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &In{Col: col, Vals: vals}, nil
+	}
+	if p.acceptKeyword("LIKE") {
+		t := p.peek()
+		if t.kind != tokString {
+			return nil, p.errorf("expected LIKE pattern string, got %q", t.text)
+		}
+		p.i++
+		return &Like{Col: col, Pattern: t.text}, nil
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{Col: col, Lo: lo, Hi: hi}, nil
+	}
+	t := p.peek()
+	if t.kind != tokSymbol {
+		return nil, p.errorf("expected comparison operator, got %q", t.text)
+	}
+	var op CmpOp
+	switch t.text {
+	case "=":
+		op = CmpEq
+	case "!=":
+		op = CmpNe
+	case "<":
+		op = CmpLt
+	case "<=":
+		op = CmpLe
+	case ">":
+		op = CmpGt
+	case ">=":
+		op = CmpGe
+	default:
+		return nil, p.errorf("expected comparison operator, got %q", t.text)
+	}
+	p.i++
+	v, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return &Compare{Col: col, Op: op, Val: v}, nil
+}

@@ -1,0 +1,151 @@
+// Package render draws visualizations as text, standing in for the paper's
+// Vega-lite front-end (Section 6.1). It consumes the same data payload the
+// back-end returns — a vis.Visualization — and renders bar charts, line
+// charts, and scatterplots to fixed-width ASCII suitable for a terminal.
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/vis"
+)
+
+// Config controls chart geometry.
+type Config struct {
+	Width  int // plot area columns (default 48)
+	Height int // plot area rows for line/scatter (default 12)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width <= 0 {
+		c.Width = 48
+	}
+	if c.Height <= 0 {
+		c.Height = 12
+	}
+	return c
+}
+
+// Chart renders the visualization using its VizType: "bar" and "dotplot"
+// render as horizontal bars, everything else as a height-mapped line/scatter
+// grid. Empty visualizations render a placeholder.
+func Chart(v *vis.Visualization, cfg Config) string {
+	cfg = cfg.withDefaults()
+	var sb strings.Builder
+	sb.WriteString(v.Label())
+	sb.WriteByte('\n')
+	if len(v.Points) == 0 {
+		sb.WriteString("  (no data)\n")
+		return sb.String()
+	}
+	switch v.VizType {
+	case "bar", "dotplot":
+		renderBars(&sb, v, cfg)
+	default:
+		renderGrid(&sb, v, cfg)
+	}
+	return sb.String()
+}
+
+func renderBars(sb *strings.Builder, v *vis.Visualization, cfg Config) {
+	maxLabel := 0
+	lo, hi := yRange(v)
+	for _, p := range v.Points {
+		if n := len(p.X.String()); n > maxLabel {
+			maxLabel = n
+		}
+	}
+	if maxLabel > 16 {
+		maxLabel = 16
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	mark := '#'
+	if v.VizType == "dotplot" {
+		mark = 'o'
+	}
+	for _, p := range v.Points {
+		label := p.X.String()
+		if len(label) > maxLabel {
+			label = label[:maxLabel]
+		}
+		// Bars are proportional to the value relative to zero (or the min
+		// when all values share a sign), the standard bar-chart baseline.
+		base := math.Min(lo, 0)
+		frac := (p.Y - base) / (hi - base + 1e-12)
+		n := int(frac * float64(cfg.Width))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(sb, "  %-*s |%s %.4g\n", maxLabel, label, strings.Repeat(string(mark), n), p.Y)
+	}
+}
+
+func renderGrid(sb *strings.Builder, v *vis.Visualization, cfg Config) {
+	lo, hi := yRange(v)
+	if hi == lo {
+		hi = lo + 1
+	}
+	cols := cfg.Width
+	rows := cfg.Height
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	n := len(v.Points)
+	mark := byte('*')
+	if v.VizType == "scatterplot" {
+		mark = '.'
+	}
+	for i, p := range v.Points {
+		c := 0
+		if n > 1 {
+			c = i * (cols - 1) / (n - 1)
+		}
+		r := int((hi - p.Y) / (hi - lo) * float64(rows-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		grid[r][c] = mark
+	}
+	fmt.Fprintf(sb, "  %.4g\n", hi)
+	for _, line := range grid {
+		sb.WriteString("  |")
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(sb, "  %.4g", lo)
+	fmt.Fprintf(sb, "  [%s: %s .. %s]\n", v.XAttr, v.Points[0].X, v.Points[len(v.Points)-1].X)
+}
+
+func yRange(v *vis.Visualization) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, p := range v.Points {
+		if p.Y < lo {
+			lo = p.Y
+		}
+		if p.Y > hi {
+			hi = p.Y
+		}
+	}
+	return lo, hi
+}
+
+// Gallery renders several visualizations in sequence with separators.
+func Gallery(vs []*vis.Visualization, cfg Config) string {
+	var sb strings.Builder
+	for i, v := range vs {
+		if i > 0 {
+			sb.WriteString(strings.Repeat("-", 60) + "\n")
+		}
+		sb.WriteString(Chart(v, cfg))
+	}
+	return sb.String()
+}

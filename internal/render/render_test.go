@@ -1,0 +1,109 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/vis"
+)
+
+func sample(vizType string) *vis.Visualization {
+	v := vis.FromSeries("year", "sales",
+		[]dataset.Value{dataset.IV(2014), dataset.IV(2015), dataset.IV(2016)},
+		[]float64{100, 250, 175})
+	v.VizType = vizType
+	v.Slices = []vis.Slice{{Attr: "product", Value: "chair"}}
+	return v
+}
+
+func TestBarChart(t *testing.T) {
+	out := Chart(sample("bar"), Config{Width: 20})
+	if !strings.Contains(out, "sales vs year [product=chair]") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("missing bars:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("bar chart lines = %d:\n%s", len(lines), out)
+	}
+	// The 250 bar must be the longest.
+	longest, longestCount := "", 0
+	for _, l := range lines[1:] {
+		if n := strings.Count(l, "#"); n > longestCount {
+			longest, longestCount = l, n
+		}
+	}
+	if !strings.Contains(longest, "250") {
+		t.Errorf("longest bar should be 250:\n%s", out)
+	}
+}
+
+func TestDotplotUsesO(t *testing.T) {
+	out := Chart(sample("dotplot"), Config{})
+	if !strings.Contains(out, "o") || strings.Contains(out, "#") {
+		t.Errorf("dotplot marks wrong:\n%s", out)
+	}
+}
+
+func TestLineChartGrid(t *testing.T) {
+	out := Chart(sample("line"), Config{Width: 30, Height: 6})
+	if strings.Count(out, "*") != 3 {
+		t.Errorf("line grid should plot 3 marks:\n%s", out)
+	}
+	if !strings.Contains(out, "[year: 2014 .. 2016]") {
+		t.Errorf("missing x range footer:\n%s", out)
+	}
+}
+
+func TestScatterUsesDots(t *testing.T) {
+	out := Chart(sample("scatterplot"), Config{})
+	if !strings.Contains(out, ".") {
+		t.Errorf("scatter marks missing:\n%s", out)
+	}
+}
+
+func TestEmptyVisualization(t *testing.T) {
+	v := &vis.Visualization{XAttr: "x", YAttr: "y"}
+	out := Chart(v, Config{})
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestConstantSeriesDoesNotPanic(t *testing.T) {
+	v := vis.FromFloats([]float64{5, 5, 5})
+	v.VizType = "line"
+	out := Chart(v, Config{})
+	if out == "" {
+		t.Error("constant series render empty")
+	}
+}
+
+func TestGallerySeparators(t *testing.T) {
+	out := Gallery([]*vis.Visualization{sample("bar"), sample("line")}, Config{})
+	seps := 0
+	for _, line := range strings.Split(out, "\n") {
+		if line == strings.Repeat("-", 60) {
+			seps++
+		}
+	}
+	if seps != 1 {
+		t.Errorf("gallery separators = %d:\n%s", seps, out)
+	}
+}
+
+func TestLongLabelsTruncate(t *testing.T) {
+	v := vis.FromSeries("name", "v",
+		[]dataset.Value{dataset.SV("an-extremely-long-category-label-here")},
+		[]float64{10})
+	v.VizType = "bar"
+	out := Chart(v, Config{Width: 10})
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 120 {
+			t.Errorf("line too long: %q", line)
+		}
+	}
+}

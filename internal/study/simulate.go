@@ -1,0 +1,161 @@
+package study
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Interface identifies one of the three studied interfaces.
+type Interface int
+
+// The three interfaces of the study.
+const (
+	DragAndDrop Interface = iota
+	CustomBuilder
+	Baseline
+)
+
+// String names the interface as the paper does.
+func (i Interface) String() string {
+	switch i {
+	case DragAndDrop:
+		return "Drag and drop interface"
+	case CustomBuilder:
+		return "Custom query builder"
+	case Baseline:
+		return "Baseline tool"
+	}
+	return "?"
+}
+
+// Profile is the generative model for one interface, taken from the paper's
+// published means and standard deviations (Findings 1 and 2 of Section 8.1):
+// completion time in seconds and accuracy in percent.
+type Profile struct {
+	TimeMean, TimeSD float64
+	AccMean, AccSD   float64
+}
+
+// PaperProfiles are the distributions the thesis reports.
+var PaperProfiles = map[Interface]Profile{
+	DragAndDrop:   {TimeMean: 74, TimeSD: 15.1, AccMean: 85.3, AccSD: 7.61},
+	CustomBuilder: {TimeMean: 115, TimeSD: 51.6, AccMean: 96.3, AccSD: 5.82},
+	Baseline:      {TimeMean: 172.5, TimeSD: 50.5, AccMean: 69.9, AccSD: 13.3},
+}
+
+// Participant is one simulated subject's measurements on one interface.
+type Participant struct {
+	ID        int
+	Interface Interface
+	TimeSec   float64
+	Accuracy  float64
+}
+
+// Experience reproduces Table 8.1: participants' prior experience counts.
+type Experience struct {
+	Tools string
+	Count int
+}
+
+// PriorExperience is the paper's Table 8.1, verbatim study metadata.
+var PriorExperience = []Experience{
+	{Tools: "Excel, Google spreadsheet, Google Charts", Count: 8},
+	{Tools: "Tableau", Count: 4},
+	{Tools: "SQL, Databases", Count: 6},
+	{Tools: "Matlab,R,Python,Java", Count: 8},
+	{Tools: "Data mining tools such as weka, JNP", Count: 2},
+	{Tools: "Other tools like D3", Count: 2},
+}
+
+// Simulation holds one simulated run of the within-subjects study.
+type Simulation struct {
+	Participants []Participant
+}
+
+// Simulate draws n participants per interface from the paper's published
+// distributions (within-subjects: every participant uses every interface).
+// Times are clamped to 10s and accuracies to [0, 100].
+func Simulate(n int, seed int64) *Simulation {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Simulation{}
+	for id := 0; id < n; id++ {
+		for _, iface := range []Interface{DragAndDrop, CustomBuilder, Baseline} {
+			p := PaperProfiles[iface]
+			t := math.Max(10, p.TimeMean+rng.NormFloat64()*p.TimeSD)
+			a := math.Min(100, math.Max(0, p.AccMean+rng.NormFloat64()*p.AccSD))
+			s.Participants = append(s.Participants, Participant{
+				ID: id, Interface: iface, TimeSec: t, Accuracy: a,
+			})
+		}
+	}
+	return s
+}
+
+// Times returns completion times per interface, in interface order.
+func (s *Simulation) Times() [][]float64 {
+	return s.metric(func(p Participant) float64 { return p.TimeSec })
+}
+
+// Accuracies returns accuracies per interface.
+func (s *Simulation) Accuracies() [][]float64 {
+	return s.metric(func(p Participant) float64 { return p.Accuracy })
+}
+
+func (s *Simulation) metric(f func(Participant) float64) [][]float64 {
+	out := make([][]float64, 3)
+	for _, p := range s.Participants {
+		out[p.Interface] = append(out[p.Interface], f(p))
+	}
+	return out
+}
+
+// InterfaceNames returns the three interface labels in order.
+func InterfaceNames() []string {
+	return []string{DragAndDrop.String(), CustomBuilder.String(), Baseline.String()}
+}
+
+// Table82 reproduces the paper's Table 8.2: Tukey's test on task completion
+// time across the three interfaces.
+func (s *Simulation) Table82() ([]TukeyComparison, ANOVAResult, error) {
+	times := s.Times()
+	anova, err := OneWayANOVA(times)
+	if err != nil {
+		return nil, ANOVAResult{}, err
+	}
+	cmp, err := TukeyHSD(InterfaceNames(), times)
+	return cmp, anova, err
+}
+
+// AccuracyOverTime reproduces Figure 8.2's curves: for each interface, the
+// expected accuracy of answers produced by time t, modeled as the accuracy
+// level scaled by the fraction of participants done by t. Completion times
+// follow the interface's normal distribution truncated below at 10 seconds
+// (no task completes faster), matching Simulate's clamp.
+func AccuracyOverTime(maxSec int, step int) map[Interface][]float64 {
+	const floor = 10.0
+	out := make(map[Interface][]float64)
+	for iface, p := range PaperProfiles {
+		zFloor := normCDF((floor - p.TimeMean) / p.TimeSD)
+		var series []float64
+		for t := 0; t <= maxSec; t += step {
+			done := (normCDF((float64(t)-p.TimeMean)/p.TimeSD) - zFloor) / (1 - zFloor)
+			if done < 0 {
+				done = 0
+			}
+			series = append(series, done*p.AccMean)
+		}
+		out[iface] = series
+	}
+	return out
+}
+
+func normCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// PreferenceChiSquare reproduces the paper's workflow-preference statistic:
+// 9 of 12 participants preferred zenvisage, 2 the baseline (χ2 = 8.22 in the
+// paper among those expressing a preference).
+func PreferenceChiSquare() float64 {
+	return ChiSquare1DF([2]int{9, 2})
+}

@@ -1,0 +1,330 @@
+package vea
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vis"
+)
+
+// Pred is a selection predicate for σv. Only =, != over X, Y, and the
+// relation attributes are allowed (Section 4.4), composed with ∧ and ∨.
+type Pred interface {
+	eval(g *Group, s Source) bool
+}
+
+// And conjoins predicates.
+type And []Pred
+
+// Or disjoins predicates.
+type Or []Pred
+
+// Cmp compares a field (X, Y, or an attribute name) against a value, which
+// may be the wildcard Star. Eq=false means !=.
+type Cmp struct {
+	Field string
+	Eq    bool
+	Val   string
+}
+
+func (a And) eval(g *Group, s Source) bool {
+	for _, p := range a {
+		if !p.eval(g, s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (o Or) eval(g *Group, s Source) bool {
+	for _, p := range o {
+		if p.eval(g, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c Cmp) eval(g *Group, s Source) bool {
+	var got string
+	switch c.Field {
+	case "X":
+		got = s.X
+	case "Y":
+		got = s.Y
+	default:
+		i := g.AttrIndex(c.Field)
+		if i < 0 {
+			return false
+		}
+		got = s.Vals[i]
+	}
+	if c.Eq {
+		return got == c.Val
+	}
+	return got != c.Val
+}
+
+// Select is σv: subselects visual sources satisfying θ, preserving order.
+func Select(g *Group, p Pred) *Group {
+	out := g.emptyLike()
+	for _, s := range g.Srcs {
+		if p.eval(g, s) {
+			out.Srcs = append(out.Srcs, s)
+		}
+	}
+	return out
+}
+
+// SortBy is τv_F(T): sorts the group in increasing order of f applied to each
+// rendered visualization. Use a negated f for decreasing order, mirroring
+// the paper's τv_{-T}.
+func SortBy(g *Group, f func(*vis.Visualization) float64) *Group {
+	type scored struct {
+		s     Source
+		score float64
+	}
+	scores := make([]scored, g.Len())
+	for i, s := range g.Srcs {
+		scores[i] = scored{s: s, score: f(g.Render(s))}
+	}
+	sort.SliceStable(scores, func(i, j int) bool { return scores[i].score < scores[j].score })
+	out := g.emptyLike()
+	for _, sc := range scores {
+		out.Srcs = append(out.Srcs, sc.s)
+	}
+	return out
+}
+
+// Limit is µv_k: the first k visual sources in order.
+func Limit(g *Group, k int) *Group {
+	if k > g.Len() {
+		k = g.Len()
+	}
+	if k < 0 {
+		k = 0
+	}
+	out := g.emptyLike()
+	out.Srcs = append(out.Srcs, g.Srcs[:k]...)
+	return out
+}
+
+// Slice is µv_[a:b]: sources at positions a..b, 1-based inclusive; b<0 means
+// to the end. It doubles as the V[a:b] indexing of ordered bag algebra.
+func Slice(g *Group, a, b int) *Group {
+	if a < 1 {
+		a = 1
+	}
+	if b < 0 || b > g.Len() {
+		b = g.Len()
+	}
+	out := g.emptyLike()
+	for i := a; i <= b; i++ {
+		out.Srcs = append(out.Srcs, g.Srcs[i-1])
+	}
+	return out
+}
+
+// Dedup is δv: keeps the first copy of each source in first-appearance order.
+func Dedup(g *Group) *Group {
+	seen := make(map[string]bool, g.Len())
+	out := g.emptyLike()
+	for _, s := range g.Srcs {
+		k := s.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Srcs = append(out.Srcs, s)
+	}
+	return out
+}
+
+// Representative is ζv_{R,k}: the k most representative sources per the R
+// exploration function (k-means representatives from internal/vis).
+func Representative(g *Group, k int, m vis.Metric, seed int64) *Group {
+	viss := make([]*vis.Visualization, g.Len())
+	for i, s := range g.Srcs {
+		viss[i] = g.Render(s)
+	}
+	picked := vis.Representative(viss, k, m, seed)
+	out := g.emptyLike()
+	for _, i := range picked {
+		out.Srcs = append(out.Srcs, g.Srcs[i])
+	}
+	return out
+}
+
+// Union is ∪v: bag concatenation.
+func Union(a, b *Group) *Group {
+	out := a.emptyLike()
+	out.Srcs = append(append(out.Srcs, a.Srcs...), b.Srcs...)
+	return out
+}
+
+// Diff is \v: removes from a every source present in b.
+func Diff(a, b *Group) *Group {
+	drop := make(map[string]bool, b.Len())
+	for _, s := range b.Srcs {
+		drop[s.Key()] = true
+	}
+	out := a.emptyLike()
+	for _, s := range a.Srcs {
+		if !drop[s.Key()] {
+			out.Srcs = append(out.Srcs, s)
+		}
+	}
+	return out
+}
+
+// Intersect is ∩v: keeps sources of a present in b.
+func Intersect(a, b *Group) *Group {
+	keep := make(map[string]bool, b.Len())
+	for _, s := range b.Srcs {
+		keep[s.Key()] = true
+	}
+	out := a.emptyLike()
+	for _, s := range a.Srcs {
+		if keep[s.Key()] {
+			out.Srcs = append(out.Srcs, s)
+		}
+	}
+	return out
+}
+
+// Swap is βv_A(V, U): replaces attribute A's values in V with A's values in
+// U via the cross product π_{¬A}(V) × π_A(U) of the paper's definition. A may
+// be "X", "Y", or a relation attribute.
+func Swap(a string, v, u *Group) *Group {
+	out := v.emptyLike()
+	// Distinct values of A in u, first-appearance order (projection under
+	// bag semantics keeps duplicates, but the cross product below follows
+	// the paper's ordered-bag π which preserves every tuple; dedup keeps the
+	// result size meaningful).
+	var uVals []string
+	seen := make(map[string]bool)
+	for _, s := range u.Srcs {
+		var val string
+		switch a {
+		case "X":
+			val = s.X
+		case "Y":
+			val = s.Y
+		default:
+			i := u.AttrIndex(a)
+			if i < 0 {
+				continue
+			}
+			val = s.Vals[i]
+		}
+		if !seen[val] {
+			seen[val] = true
+			uVals = append(uVals, val)
+		}
+	}
+	for _, s := range v.Srcs {
+		for _, val := range uVals {
+			ns := s.Clone()
+			switch a {
+			case "X":
+				ns.X = val
+			case "Y":
+				ns.Y = val
+			default:
+				i := v.AttrIndex(a)
+				if i < 0 {
+					continue
+				}
+				ns.Vals[i] = val
+			}
+			out.Srcs = append(out.Srcs, ns)
+		}
+	}
+	return out
+}
+
+// Dist is φv_{F(D),A1..Aj}(V, U): sorts V in increasing order of the distance
+// between each source and the source of U matching it on attributes
+// A1..Aj. The operation is undefined (returns an error) when a match key
+// selects more than one source on either side, as in the paper.
+func Dist(attrs []string, v, u *Group, f func(a, b *vis.Visualization) float64) (*Group, error) {
+	keyOf := func(g *Group, s Source) (string, error) {
+		var parts []string
+		for _, a := range attrs {
+			switch a {
+			case "X":
+				parts = append(parts, s.X)
+			case "Y":
+				parts = append(parts, s.Y)
+			default:
+				i := g.AttrIndex(a)
+				if i < 0 {
+					return "", fmt.Errorf("vea: φv attribute %q not in schema", a)
+				}
+				parts = append(parts, s.Vals[i])
+			}
+		}
+		return fmt.Sprint(parts), nil
+	}
+	uByKey := make(map[string]Source, u.Len())
+	for _, s := range u.Srcs {
+		k, err := keyOf(u, s)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := uByKey[k]; dup {
+			return nil, fmt.Errorf("vea: φv undefined: key %v selects multiple sources in U", k)
+		}
+		uByKey[k] = s
+	}
+	type scored struct {
+		s     Source
+		score float64
+	}
+	var scores []scored
+	seenV := make(map[string]bool)
+	for _, s := range v.Srcs {
+		k, err := keyOf(v, s)
+		if err != nil {
+			return nil, err
+		}
+		if seenV[k] {
+			return nil, fmt.Errorf("vea: φv undefined: key %v selects multiple sources in V", k)
+		}
+		seenV[k] = true
+		us, ok := uByKey[k]
+		if !ok {
+			return nil, fmt.Errorf("vea: φv undefined: no source in U matches key %v", k)
+		}
+		scores = append(scores, scored{s: s, score: f(v.Render(s), u.Render(us))})
+	}
+	sort.SliceStable(scores, func(i, j int) bool { return scores[i].score < scores[j].score })
+	out := v.emptyLike()
+	for _, sc := range scores {
+		out.Srcs = append(out.Srcs, sc.s)
+	}
+	return out, nil
+}
+
+// Find is ηv_{F(D)}(V, U): sorts V in increasing order of distance to the
+// single reference source in U. Undefined when U is not a singleton.
+func Find(v, u *Group, f func(a, b *vis.Visualization) float64) (*Group, error) {
+	if u.Len() != 1 {
+		return nil, fmt.Errorf("vea: ηv undefined: reference group has %d sources, want 1", u.Len())
+	}
+	ref := u.Render(u.Srcs[0])
+	type scored struct {
+		s     Source
+		score float64
+	}
+	scores := make([]scored, v.Len())
+	for i, s := range v.Srcs {
+		scores[i] = scored{s: s, score: f(v.Render(s), ref)}
+	}
+	sort.SliceStable(scores, func(i, j int) bool { return scores[i].score < scores[j].score })
+	out := v.emptyLike()
+	for _, sc := range scores {
+		out.Srcs = append(out.Srcs, sc.s)
+	}
+	return out, nil
+}

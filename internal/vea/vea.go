@@ -1,0 +1,168 @@
+// Package vea implements the visual exploration algebra of Chapter 4: an
+// ordered-bag algebra over visual sources, with the unary operators σv, τv,
+// µv, δv, ζv and the binary operators ∪v, \v, ∩v, βv, φv, ηv (Table 4.2).
+//
+// A visual source is a (k+2)-tuple (X, Y, A1, ..., Ak) where X and Y name the
+// axes and each Ai is either a concrete value of attribute i or the wildcard
+// '*' (no selection on that attribute). A visual group is an ordered bag of
+// visual sources over one relation. The exploration functions T, D, R come
+// from internal/vis, exactly as the paper parameterizes completeness by them.
+package vea
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/vis"
+)
+
+// Star is the wildcard attribute value: no selection on that attribute.
+const Star = "*"
+
+// Source is one visual source: the X/Y axis attributes plus one value (or
+// Star) per relation attribute.
+type Source struct {
+	X, Y string
+	Vals []string // parallel to the group's Attrs
+}
+
+// Key renders a comparable identity for bag semantics.
+func (s Source) Key() string {
+	return s.X + "\x00" + s.Y + "\x00" + strings.Join(s.Vals, "\x00")
+}
+
+// Clone deep-copies the source.
+func (s Source) Clone() Source {
+	return Source{X: s.X, Y: s.Y, Vals: append([]string(nil), s.Vals...)}
+}
+
+// Group is an ordered bag of visual sources over a relation.
+type Group struct {
+	Table *dataset.Table
+	Attrs []string // the relation's attributes A1..Ak, fixed order
+	Srcs  []Source
+}
+
+// NewGroup returns an empty group over the table's full attribute list.
+func NewGroup(t *dataset.Table) *Group {
+	return &Group{Table: t, Attrs: t.ColumnNames()}
+}
+
+// Len returns the number of visual sources.
+func (g *Group) Len() int { return len(g.Srcs) }
+
+// Add appends a source, validating arity.
+func (g *Group) Add(s Source) *Group {
+	if len(s.Vals) != len(g.Attrs) {
+		panic(fmt.Sprintf("vea: source arity %d != %d attributes", len(s.Vals), len(g.Attrs)))
+	}
+	g.Srcs = append(g.Srcs, s)
+	return g
+}
+
+// AttrIndex returns the position of an attribute, or -1.
+func (g *Group) AttrIndex(name string) int {
+	for i, a := range g.Attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// emptyLike returns an empty group sharing table and schema.
+func (g *Group) emptyLike() *Group {
+	return &Group{Table: g.Table, Attrs: g.Attrs}
+}
+
+// Universe materializes ν(R) = X × Y × ×i (πAi(R) ∪ {*}): every combination
+// of x-axis attribute, y-axis attribute, and per-attribute value-or-wildcard.
+// It is exponential in the attribute count and intended for the test-scale
+// relations of the completeness proofs, exactly like Table 4.1's example.
+func Universe(t *dataset.Table, xAttrs, yAttrs []string) *Group {
+	g := NewGroup(t)
+	domains := make([][]string, len(g.Attrs))
+	for i, a := range g.Attrs {
+		vals := t.Column(a).DistinctSorted()
+		dom := make([]string, 0, len(vals)+1)
+		dom = append(dom, Star)
+		for _, v := range vals {
+			dom = append(dom, v.String())
+		}
+		domains[i] = dom
+	}
+	var rec func(i int, vals []string)
+	var combos [][]string
+	rec = func(i int, vals []string) {
+		if i == len(domains) {
+			combos = append(combos, append([]string(nil), vals...))
+			return
+		}
+		for _, v := range domains[i] {
+			rec(i+1, append(vals, v))
+		}
+	}
+	rec(0, nil)
+	for _, x := range xAttrs {
+		for _, y := range yAttrs {
+			for _, vals := range combos {
+				g.Add(Source{X: x, Y: y, Vals: append([]string(nil), vals...)})
+			}
+		}
+	}
+	return g
+}
+
+// Render materializes the visualization a source denotes: rows matching the
+// non-wildcard attribute values, grouped by X with SUM(Y). The paper assumes
+// each visual source maps to a single visualization via standard rules; SUM
+// grouping is that standard rule here.
+func (g *Group) Render(s Source) *vis.Visualization {
+	t := g.Table
+	v := &vis.Visualization{XAttr: s.X, YAttr: s.Y}
+	for i, a := range g.Attrs {
+		if s.Vals[i] != Star {
+			v.Slices = append(v.Slices, vis.Slice{Attr: a, Value: s.Vals[i]})
+		}
+	}
+	xCol, yCol := t.Column(s.X), t.Column(s.Y)
+	if xCol == nil || yCol == nil {
+		return v
+	}
+	cols := make([]*dataset.Column, len(g.Attrs))
+	for i, a := range g.Attrs {
+		cols[i] = t.Column(a)
+	}
+	sums := make(map[string]float64)
+	xvals := make(map[string]dataset.Value)
+	for r := 0; r < t.NumRows(); r++ {
+		match := true
+		for i := range g.Attrs {
+			if s.Vals[i] == Star {
+				continue
+			}
+			if cols[i].Value(r).String() != s.Vals[i] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		xv := xCol.Value(r)
+		k := xv.String()
+		sums[k] += yCol.Float(r)
+		xvals[k] = xv
+	}
+	keys := make([]string, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return xvals[keys[i]].Compare(xvals[keys[j]]) < 0 })
+	for _, k := range keys {
+		v.Points = append(v.Points, vis.Point{X: xvals[k], Y: sums[k]})
+	}
+	return v
+}

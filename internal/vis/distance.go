@@ -1,0 +1,293 @@
+package vis
+
+import (
+	"fmt"
+	"math"
+)
+
+// DistanceFunc measures dissimilarity between two equal-length series.
+type DistanceFunc func(a, b []float64) float64
+
+// Euclidean is the ℓ2 distance, the paper's default D for the task
+// processors (Section 7.2 uses ℓ2 for similarity search).
+func Euclidean(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// DTW is dynamic time warping with unconstrained warping window, the second
+// metric the conclusion names ("euclidean and distance time warping").
+func DTW(a, b []float64) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = math.Inf(1)
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = math.Inf(1)
+		for j := 1; j <= m; j++ {
+			cost := math.Abs(a[i-1] - b[j-1])
+			best := prev[j]
+			if prev[j-1] < best {
+				best = prev[j-1]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			if i == 1 && j == 1 {
+				best = 0
+			}
+			cur[j] = cost + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// KLDivergence converts both series into probability distributions (shifted
+// to be non-negative, normalized to sum 1, epsilon-smoothed) and returns the
+// symmetrized Kullback-Leibler divergence, one of the distance choices the
+// paper cites for D.
+func KLDivergence(a, b []float64) float64 {
+	p := toDistribution(a)
+	q := toDistribution(b)
+	var kl1, kl2 float64
+	for i := range p {
+		kl1 += p[i] * math.Log(p[i]/q[i])
+		kl2 += q[i] * math.Log(q[i]/p[i])
+	}
+	return (kl1 + kl2) / 2
+}
+
+// EMD1D is the 1-dimensional Earth Mover's Distance between the induced
+// distributions: the L1 distance between their CDFs.
+func EMD1D(a, b []float64) float64 {
+	p := toDistribution(a)
+	q := toDistribution(b)
+	var cum, emd float64
+	for i := range p {
+		cum += p[i] - q[i]
+		emd += math.Abs(cum)
+	}
+	return emd
+}
+
+const distEps = 1e-9
+
+func toDistribution(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	min := math.Inf(1)
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+	}
+	var sum float64
+	for i, x := range xs {
+		out[i] = x - min + distEps
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// ZNormalize shifts the series to mean 0 and scales to standard deviation 1;
+// a constant series normalizes to all zeros. zenvisage normalizes before
+// comparing so that shape, not magnitude, drives similarity.
+func ZNormalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var variance float64
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(xs))
+	sd := math.Sqrt(variance)
+	if sd < distEps {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - mean) / sd
+	}
+	return out
+}
+
+// MinMaxNormalize scales the series into [0, 1]; a constant series maps to
+// all 0.5.
+func MinMaxNormalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi-lo < distEps {
+		for i := range out {
+			out[i] = 0.5
+		}
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - lo) / (hi - lo)
+	}
+	return out
+}
+
+// Metric bundles a distance function with the normalization zenvisage
+// applies before measuring.
+type Metric struct {
+	Name      string
+	Fn        DistanceFunc
+	Normalize bool
+}
+
+// DefaultMetric is z-normalized Euclidean distance.
+var DefaultMetric = Metric{Name: "euclidean", Fn: Euclidean, Normalize: true}
+
+// MetricByName resolves a metric name used in ZQL process columns and CLI
+// flags: euclidean, dtw, kl, emd (each with a raw- prefix to skip
+// normalization).
+func MetricByName(name string) (Metric, error) {
+	norm := true
+	if rest, ok := cutPrefix(name, "raw-"); ok {
+		norm = false
+		name = rest
+	}
+	switch name {
+	case "", "euclidean", "l2":
+		return Metric{Name: "euclidean", Fn: Euclidean, Normalize: norm}, nil
+	case "dtw":
+		return Metric{Name: "dtw", Fn: DTW, Normalize: norm}, nil
+	case "kl":
+		return Metric{Name: "kl", Fn: KLDivergence, Normalize: norm}, nil
+	case "emd":
+		return Metric{Name: "emd", Fn: EMD1D, Normalize: norm}, nil
+	}
+	return Metric{}, fmt.Errorf("vis: unknown distance metric %q", name)
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+// Distance aligns two visualizations and measures the metric between them —
+// the D(f1, f2) of ZQL process columns. Visualizations sharing x values are
+// aligned on their joint domain; visualizations with fully disjoint domains
+// (a user-drawn trend at x = 0..n against a chart over years) are aligned
+// positionally, resampling the shorter to the longer — the way the
+// front-end's drawing box maps a sketched polyline onto the chart's x-axis.
+func Distance(a, b *Visualization, m Metric) float64 {
+	var va, vb []float64
+	if disjointDomains(a, b) {
+		va, vb = a.Ys(), b.Ys()
+		n := len(va)
+		if len(vb) > n {
+			n = len(vb)
+		}
+		va, vb = Resample(va, n), Resample(vb, n)
+	} else {
+		domain := Domain([]*Visualization{a, b})
+		va, vb = a.Vector(domain), b.Vector(domain)
+	}
+	if m.Normalize {
+		va, vb = ZNormalize(va), ZNormalize(vb)
+	}
+	return m.Fn(va, vb)
+}
+
+// disjointDomains reports whether the two visualizations share no x value.
+func disjointDomains(a, b *Visualization) bool {
+	if len(a.Points) == 0 || len(b.Points) == 0 {
+		return false
+	}
+	seen := make(map[string]bool, len(a.Points))
+	for _, p := range a.Points {
+		seen[p.X.String()] = true
+	}
+	for _, p := range b.Points {
+		if seen[p.X.String()] {
+			return false
+		}
+	}
+	return true
+}
+
+// Resample linearly interpolates the series to n points, preserving its
+// endpoints and shape.
+func Resample(ys []float64, n int) []float64 {
+	if n <= 0 || len(ys) == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	if len(ys) == 1 || n == 1 {
+		for i := range out {
+			out[i] = ys[0]
+		}
+		return out
+	}
+	scale := float64(len(ys)-1) / float64(n-1)
+	for i := range out {
+		pos := float64(i) * scale
+		lo := int(pos)
+		if lo >= len(ys)-1 {
+			out[i] = ys[len(ys)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = ys[lo]*(1-frac) + ys[lo+1]*frac
+	}
+	return out
+}
+
+// Trend is T(f): the slope of the least-squares line fit to the normalized
+// series against equally spaced x positions. Positive means "growth".
+func Trend(v *Visualization) float64 {
+	ys := MinMaxNormalize(v.Ys())
+	n := len(ys)
+	if n < 2 {
+		return 0
+	}
+	// x positions 0..n-1 scaled into [0,1] so slopes are comparable across
+	// visualizations with different series lengths.
+	var sumX, sumY, sumXY, sumXX float64
+	for i, y := range ys {
+		x := float64(i) / float64(n-1)
+		sumX += x
+		sumY += y
+		sumXY += x * y
+		sumXX += x * x
+	}
+	nf := float64(n)
+	denom := nf*sumXX - sumX*sumX
+	if math.Abs(denom) < distEps {
+		return 0
+	}
+	return (nf*sumXY - sumX*sumY) / denom
+}

@@ -1,0 +1,282 @@
+package vis
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KMeansResult holds the outcome of Lloyd's algorithm.
+type KMeansResult struct {
+	Centroids [][]float64
+	Assign    []int // Assign[i] = centroid index of vector i
+	Inertia   float64
+}
+
+// KMeans clusters the vectors into k groups with k-means++ seeding and
+// Lloyd's iterations. The seed makes runs reproducible, which the experiment
+// harness depends on. k is clamped to len(vectors).
+func KMeans(vectors [][]float64, k int, seed int64, maxIter int) KMeansResult {
+	n := len(vectors)
+	if k > n {
+		k = n
+	}
+	if k <= 0 || n == 0 {
+		return KMeansResult{}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dim := len(vectors[0])
+	centroids := seedPlusPlus(vectors, k, rng)
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, v := range vectors {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				d := sqDist(v, cent)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, v := range vectors {
+			c := assign[i]
+			counts[c]++
+			for j, x := range v {
+				sums[c][j] += x
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the farthest point.
+				centroids[c] = append([]float64(nil), vectors[farthestPoint(vectors, centroids)]...)
+				continue
+			}
+			for j := range sums[c] {
+				sums[c][j] /= float64(counts[c])
+			}
+			centroids[c] = sums[c]
+		}
+	}
+	var inertia float64
+	for i, v := range vectors {
+		inertia += sqDist(v, centroids[assign[i]])
+	}
+	return KMeansResult{Centroids: centroids, Assign: assign, Inertia: inertia}
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func seedPlusPlus(vectors [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(vectors)
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, append([]float64(nil), vectors[rng.Intn(n)]...))
+	dists := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i, v := range vectors {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if s := sqDist(v, c); s < d {
+					d = s
+				}
+			}
+			dists[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All points coincide with centroids; duplicate one.
+			centroids = append(centroids, append([]float64(nil), vectors[0]...))
+			continue
+		}
+		target := rng.Float64() * total
+		idx := 0
+		for i, d := range dists {
+			target -= d
+			if target <= 0 {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), vectors[idx]...))
+	}
+	return centroids
+}
+
+func farthestPoint(vectors [][]float64, centroids [][]float64) int {
+	best, bestD := 0, -1.0
+	for i, v := range vectors {
+		d := math.Inf(1)
+		for _, c := range centroids {
+			if s := sqDist(v, c); s < d {
+				d = s
+			}
+		}
+		if d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// vectorize projects the visualizations onto their shared domain and applies
+// the metric's normalization.
+func vectorize(vs []*Visualization, m Metric) [][]float64 {
+	domain := Domain(vs)
+	out := make([][]float64, len(vs))
+	for i, v := range vs {
+		vec := v.Vector(domain)
+		if m.Normalize {
+			vec = ZNormalize(vec)
+		}
+		out[i] = vec
+	}
+	return out
+}
+
+// Representative is R(k, ·): it clusters the visualizations with k-means and
+// returns the indices of the k visualizations nearest each centroid — the
+// paper's default representative-finding algorithm. Results are ordered by
+// cluster size (largest first) so "the most representative" comes first.
+func Representative(vs []*Visualization, k int, m Metric, seed int64) []int {
+	if len(vs) == 0 || k <= 0 {
+		return nil
+	}
+	if k > len(vs) {
+		k = len(vs)
+	}
+	vectors := vectorize(vs, m)
+	res := KMeans(vectors, k, seed, 50)
+	counts := make([]int, len(res.Centroids))
+	nearest := make([]int, len(res.Centroids))
+	nearestD := make([]float64, len(res.Centroids))
+	for c := range nearestD {
+		nearestD[c] = math.Inf(1)
+		nearest[c] = -1
+	}
+	for i, v := range vectors {
+		c := res.Assign[i]
+		counts[c]++
+		if d := sqDist(v, res.Centroids[c]); d < nearestD[c] {
+			nearest[c], nearestD[c] = i, d
+		}
+	}
+	// Order clusters by descending size, breaking ties by centroid index.
+	order := make([]int, 0, len(res.Centroids))
+	for c := range res.Centroids {
+		if nearest[c] >= 0 {
+			order = append(order, c)
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && counts[order[j]] > counts[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	out := make([]int, 0, k)
+	seen := make(map[int]bool)
+	for _, c := range order {
+		if !seen[nearest[c]] {
+			seen[nearest[c]] = true
+			out = append(out, nearest[c])
+		}
+	}
+	// Duplicate shapes can collapse clusters below k; pad with the remaining
+	// visualizations in order so R(k, ...) always yields min(k, n) items.
+	for i := 0; len(out) < k && i < len(vs); i++ {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Outliers finds the k visualizations whose minimum distance to the
+// representative trends is largest — the paper's outlier search task (Section
+// 7.2: "apply the representative search task, then return the k
+// visualizations for which the minimum distance D to the representative
+// trends is maximized"). Representative trends are the k-means centroids;
+// centroids of singleton clusters are excluded when any multi-member cluster
+// exists, since a trend followed by exactly one visualization represents
+// nothing but the candidate outlier itself.
+func Outliers(vs []*Visualization, k int, m Metric, seed int64) []int {
+	if len(vs) == 0 || k <= 0 {
+		return nil
+	}
+	vectors := vectorize(vs, m)
+	km := KMeans(vectors, defaultRepresentativeK(len(vs)), seed, 50)
+	counts := make([]int, len(km.Centroids))
+	for _, c := range km.Assign {
+		counts[c]++
+	}
+	var trends [][]float64
+	for c, cent := range km.Centroids {
+		if counts[c] > 1 {
+			trends = append(trends, cent)
+		}
+	}
+	if len(trends) == 0 {
+		trends = km.Centroids
+	}
+	type scored struct {
+		idx int
+		d   float64
+	}
+	scores := make([]scored, 0, len(vs))
+	for i := range vs {
+		minD := math.Inf(1)
+		for _, tr := range trends {
+			if d := m.Fn(vectors[i], tr); d < minD {
+				minD = d
+			}
+		}
+		scores = append(scores, scored{idx: i, d: minD})
+	}
+	// Partial selection sort for the top k by descending distance.
+	if k > len(scores) {
+		k = len(scores)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(scores); j++ {
+			if scores[j].d > scores[best].d {
+				best = j
+			}
+		}
+		scores[i], scores[best] = scores[best], scores[i]
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = scores[i].idx
+	}
+	return out
+}
+
+// defaultRepresentativeK is the cluster count used inside outlier search;
+// the paper's recommendation engine default is 5.
+func defaultRepresentativeK(n int) int {
+	if n < 5 {
+		return n
+	}
+	return 5
+}

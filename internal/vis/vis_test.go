@@ -1,0 +1,323 @@
+package vis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestKeyAndLabel(t *testing.T) {
+	v := &Visualization{XAttr: "year", YAttr: "sales", Slices: []Slice{{Attr: "product", Value: "chair"}}}
+	if v.Key() != "year|sales|product=chair" {
+		t.Errorf("Key = %q", v.Key())
+	}
+	if v.Label() != "sales vs year [product=chair]" {
+		t.Errorf("Label = %q", v.Label())
+	}
+	bare := &Visualization{XAttr: "x", YAttr: "y"}
+	if bare.Label() != "y vs x" {
+		t.Errorf("Label = %q", bare.Label())
+	}
+}
+
+func TestSortPointsAndYs(t *testing.T) {
+	v := FromSeries("year", "sales",
+		[]dataset.Value{dataset.IV(2015), dataset.IV(2013), dataset.IV(2014)},
+		[]float64{3, 1, 2})
+	v.SortPoints()
+	ys := v.Ys()
+	if ys[0] != 1 || ys[1] != 2 || ys[2] != 3 {
+		t.Errorf("sorted ys = %v", ys)
+	}
+}
+
+func TestDomainUnion(t *testing.T) {
+	a := FromFloats([]float64{1, 2})    // x = 0, 1
+	b := FromFloats([]float64{1, 2, 3}) // x = 0, 1, 2
+	d := Domain([]*Visualization{a, b})
+	if len(d) != 3 || d[0].Int() != 0 || d[2].Int() != 2 {
+		t.Errorf("domain = %v", d)
+	}
+}
+
+func TestVectorInterpolation(t *testing.T) {
+	v := FromSeries("x", "y",
+		[]dataset.Value{dataset.IV(0), dataset.IV(2), dataset.IV(5)},
+		[]float64{0, 4, 10})
+	domain := []dataset.Value{
+		dataset.IV(0), dataset.IV(1), dataset.IV(2), dataset.IV(3), dataset.IV(4), dataset.IV(5),
+	}
+	got := v.Vector(domain)
+	want := []float64{0, 2, 4, 6, 8, 10}
+	for i := range want {
+		if !almostEq(got[i], want[i]) {
+			t.Errorf("vector[%d] = %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestVectorClampsEnds(t *testing.T) {
+	v := FromSeries("x", "y", []dataset.Value{dataset.IV(2)}, []float64{7})
+	domain := []dataset.Value{dataset.IV(0), dataset.IV(2), dataset.IV(4)}
+	got := v.Vector(domain)
+	if got[0] != 7 || got[1] != 7 || got[2] != 7 {
+		t.Errorf("clamped vector = %v", got)
+	}
+	empty := &Visualization{}
+	if got := empty.Vector(domain); got[0] != 0 || got[2] != 0 {
+		t.Errorf("empty vector = %v", got)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	if !almostEq(Euclidean([]float64{0, 0}, []float64{3, 4}), 5) {
+		t.Error("3-4-5 broken")
+	}
+	if Euclidean([]float64{1, 2}, []float64{1, 2}) != 0 {
+		t.Error("identity broken")
+	}
+}
+
+func TestDTW(t *testing.T) {
+	a := []float64{1, 2, 3}
+	if DTW(a, a) != 0 {
+		t.Error("DTW(a,a) must be 0")
+	}
+	// A shifted copy should be closer under DTW than under Euclidean.
+	b := []float64{1, 1, 2, 3}
+	if DTW(a, b) > 0.01 {
+		t.Errorf("DTW of time-shifted series = %v, want ~0", DTW(a, b))
+	}
+	if math.IsInf(DTW(nil, a), 1) != true {
+		t.Error("DTW with empty series must be +inf")
+	}
+}
+
+func TestKLAndEMDProperties(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{4, 3, 2, 1}
+	if !almostEq(KLDivergence(a, a), 0) {
+		t.Errorf("KL(a,a) = %v", KLDivergence(a, a))
+	}
+	if KLDivergence(a, b) <= 0 {
+		t.Error("KL of different series must be positive")
+	}
+	if !almostEq(KLDivergence(a, b), KLDivergence(b, a)) {
+		t.Error("symmetrized KL must be symmetric")
+	}
+	if !almostEq(EMD1D(a, a), 0) {
+		t.Errorf("EMD(a,a) = %v", EMD1D(a, a))
+	}
+	if EMD1D(a, b) <= 0 {
+		t.Error("EMD of different series must be positive")
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	got := ZNormalize([]float64{2, 4, 6})
+	var mean, variance float64
+	for _, x := range got {
+		mean += x
+	}
+	mean /= 3
+	for _, x := range got {
+		variance += (x - mean) * (x - mean)
+	}
+	if !almostEq(mean, 0) || !almostEq(variance/3, 1) {
+		t.Errorf("znorm = %v (mean %v var %v)", got, mean, variance/3)
+	}
+	flat := ZNormalize([]float64{5, 5, 5})
+	if flat[0] != 0 || flat[2] != 0 {
+		t.Errorf("constant series should normalize to zeros: %v", flat)
+	}
+	if len(ZNormalize(nil)) != 0 {
+		t.Error("empty normalize should be empty")
+	}
+}
+
+func TestMinMaxNormalize(t *testing.T) {
+	got := MinMaxNormalize([]float64{10, 20, 30})
+	if !almostEq(got[0], 0) || !almostEq(got[1], 0.5) || !almostEq(got[2], 1) {
+		t.Errorf("minmax = %v", got)
+	}
+	flat := MinMaxNormalize([]float64{3, 3})
+	if flat[0] != 0.5 {
+		t.Errorf("flat minmax = %v", flat)
+	}
+}
+
+func TestTrendSignsAndScale(t *testing.T) {
+	up := FromFloats([]float64{1, 2, 3, 4, 5})
+	down := FromFloats([]float64{5, 4, 3, 2, 1})
+	flat := FromFloats([]float64{3, 3, 3, 3})
+	if Trend(up) <= 0 {
+		t.Errorf("Trend(up) = %v", Trend(up))
+	}
+	if Trend(down) >= 0 {
+		t.Errorf("Trend(down) = %v", Trend(down))
+	}
+	if !almostEq(Trend(flat), 0) {
+		t.Errorf("Trend(flat) = %v", Trend(flat))
+	}
+	if Trend(FromFloats([]float64{1})) != 0 {
+		t.Error("single point trend must be 0")
+	}
+	// Scale invariance: trend of normalized shape, not magnitude.
+	big := FromFloats([]float64{1000, 2000, 3000})
+	small := FromFloats([]float64{1, 2, 3})
+	if !almostEq(Trend(big), Trend(small)) {
+		t.Errorf("Trend must be scale invariant: %v vs %v", Trend(big), Trend(small))
+	}
+}
+
+func TestDistanceNormalizesShape(t *testing.T) {
+	a := FromFloats([]float64{1, 2, 3})
+	b := FromFloats([]float64{100, 200, 300})
+	c := FromFloats([]float64{3, 2, 1})
+	dSame := Distance(a, b, DefaultMetric)
+	dDiff := Distance(a, c, DefaultMetric)
+	if !almostEq(dSame, 0) {
+		t.Errorf("distance of same shape at different scale = %v, want 0", dSame)
+	}
+	if dDiff <= dSame {
+		t.Error("opposite shapes must be farther than scaled copies")
+	}
+	raw, _ := MetricByName("raw-euclidean")
+	if Distance(a, b, raw) == 0 {
+		t.Error("raw metric must see the magnitude difference")
+	}
+}
+
+func TestMetricByName(t *testing.T) {
+	for _, name := range []string{"", "euclidean", "l2", "dtw", "kl", "emd", "raw-dtw"} {
+		if _, err := MetricByName(name); err != nil {
+			t.Errorf("MetricByName(%q): %v", name, err)
+		}
+	}
+	if _, err := MetricByName("cosine"); err == nil {
+		t.Error("unknown metric should error")
+	}
+}
+
+func TestDistanceSymmetryQuick(t *testing.T) {
+	clamp := func(xs []float64) []float64 {
+		out := make([]float64, len(xs))
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			out[i] = math.Remainder(x, 1000)
+		}
+		return out
+	}
+	f := func(ay, by []float64) bool {
+		if len(ay) < 2 || len(by) < 2 {
+			return true
+		}
+		a, b := FromFloats(clamp(ay)), FromFloats(clamp(by))
+		d1, d2 := Distance(a, b, DefaultMetric), Distance(b, a, DefaultMetric)
+		return almostEq(d1, d2) && d1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clusterData() []*Visualization {
+	var vs []*Visualization
+	// Three well-separated shapes: rising, falling, flat-with-spike.
+	for i := 0; i < 5; i++ {
+		o := float64(i) * 0.01
+		vs = append(vs, FromFloats([]float64{0 + o, 1, 2, 3, 4 + o}))
+	}
+	for i := 0; i < 5; i++ {
+		o := float64(i) * 0.01
+		vs = append(vs, FromFloats([]float64{4 + o, 3, 2, 1, 0 - o}))
+	}
+	for i := 0; i < 5; i++ {
+		o := float64(i) * 0.01
+		vs = append(vs, FromFloats([]float64{1, 1 + o, 5, 1, 1 - o}))
+	}
+	return vs
+}
+
+func TestKMeansSeparatesClusters(t *testing.T) {
+	vs := clusterData()
+	vectors := vectorize(vs, DefaultMetric)
+	res := KMeans(vectors, 3, 42, 50)
+	if len(res.Centroids) != 3 {
+		t.Fatalf("%d centroids", len(res.Centroids))
+	}
+	// All members of each ground-truth group must share an assignment.
+	for g := 0; g < 3; g++ {
+		want := res.Assign[g*5]
+		for i := 1; i < 5; i++ {
+			if res.Assign[g*5+i] != want {
+				t.Errorf("group %d split: %v", g, res.Assign)
+			}
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if res := KMeans(nil, 3, 1, 10); len(res.Centroids) != 0 {
+		t.Error("empty input should produce no centroids")
+	}
+	vectors := [][]float64{{1, 1}, {2, 2}}
+	res := KMeans(vectors, 5, 1, 10)
+	if len(res.Centroids) != 2 {
+		t.Errorf("k clamped to n: %d centroids", len(res.Centroids))
+	}
+	// Identical points: must not loop forever or panic.
+	same := [][]float64{{1}, {1}, {1}}
+	res = KMeans(same, 2, 1, 10)
+	if len(res.Assign) != 3 {
+		t.Error("identical points assignment broken")
+	}
+}
+
+func TestRepresentativePicksOnePerCluster(t *testing.T) {
+	vs := clusterData()
+	reps := Representative(vs, 3, DefaultMetric, 42)
+	if len(reps) != 3 {
+		t.Fatalf("reps = %v", reps)
+	}
+	groups := map[int]bool{}
+	for _, r := range reps {
+		groups[r/5] = true
+	}
+	if len(groups) != 3 {
+		t.Errorf("representatives should span all clusters: %v", reps)
+	}
+	if got := Representative(nil, 3, DefaultMetric, 1); got != nil {
+		t.Error("empty input should give nil")
+	}
+	if got := Representative(vs, 0, DefaultMetric, 1); got != nil {
+		t.Error("k=0 should give nil")
+	}
+}
+
+func TestOutliersFindsThePlantedOutlier(t *testing.T) {
+	vs := clusterData()
+	// Plant a wildly different shape.
+	vs = append(vs, FromFloats([]float64{10, -10, 10, -10, 10}))
+	out := Outliers(vs, 1, DefaultMetric, 42)
+	if len(out) != 1 || out[0] != len(vs)-1 {
+		t.Errorf("outlier = %v, want [%d]", out, len(vs)-1)
+	}
+	if got := Outliers(nil, 1, DefaultMetric, 1); got != nil {
+		t.Error("empty outliers should be nil")
+	}
+}
+
+func TestFillMissingAllMissing(t *testing.T) {
+	ys := []float64{0, 0, 0}
+	fillMissing(ys, []bool{true, true, true})
+	if ys[0] != 0 || ys[2] != 0 {
+		t.Errorf("all-missing fill = %v", ys)
+	}
+}

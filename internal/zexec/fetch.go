@@ -1,0 +1,449 @@
+package zexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/vis"
+	"repro/internal/zql"
+)
+
+// fetchUnit is one visualization to retrieve for a row.
+type fetchUnit struct {
+	rs     *rowState
+	order  int // position within the row's combo iteration
+	assign map[string]element
+	xattrs []string // ≥2 for composite × axes
+	yattrs []string // ≥2 for composite + axes
+	slices []vis.Slice
+	vd     zql.VizDef
+	out    *vis.Visualization // filled by the splitter
+}
+
+// buildUnits enumerates a resolved row's visualizations.
+func (ex *executor) buildUnits(rs *rowState) ([]*fetchUnit, error) {
+	var units []*fetchUnit
+	var buildErr error
+	forEachCombo(rs.dims, func(assign map[string]element, tuple []element) {
+		if buildErr != nil {
+			return
+		}
+		u := &fetchUnit{rs: rs, order: len(units), assign: assign}
+		for _, e := range tuple {
+			switch e.kind {
+			case elemX:
+				u.xattrs = splitComposite(e.val)
+			case elemY:
+				u.yattrs = strings.Split(e.val, "+")
+			case elemZ:
+				u.slices = append(u.slices, vis.Slice{Attr: e.attr, Value: e.val})
+			case elemViz:
+				u.vd = *e.viz
+			}
+		}
+		if len(u.xattrs) == 0 || len(u.yattrs) == 0 {
+			buildErr = fmt.Errorf("zexec: line %d: row needs both X and Y axes", rs.row.Line)
+			return
+		}
+		units = append(units, u)
+	})
+	return units, buildErr
+}
+
+func splitComposite(attr string) []string {
+	if strings.Contains(attr, "×") {
+		return strings.Split(attr, "×")
+	}
+	return []string{attr}
+}
+
+// sqlJob is one SQL statement feeding one or more units.
+type sqlJob struct {
+	sql   string
+	units []*fetchUnit
+	// Splitting metadata:
+	xCols   []string
+	zCols   []string
+	yAlias  map[string]string // y attribute -> result column alias
+	raw     bool              // scatter: no aggregation
+	rawYCol string
+}
+
+// agg resolution: explicit y=agg('f') wins; scatterplots default to raw
+// points; everything else uses the rule-of-thumb default aggregate.
+func (ex *executor) aggFor(vd zql.VizDef) (agg string, raw bool) {
+	if vd.YAgg != "" {
+		return vd.YAgg, false
+	}
+	if vd.Type == "scatterplot" {
+		return "", true
+	}
+	return ex.opts.DefaultAgg, false
+}
+
+// unitSQL builds the naive one-query-per-visualization SQL of Section 5.1.
+func (ex *executor) unitSQL(u *fetchUnit, constraints string) (*sqlJob, error) {
+	agg, raw := ex.aggFor(u.vd)
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, x := range u.xattrs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(xExpr(x, u.vd.XBin, i == 0))
+	}
+	yAlias := make(map[string]string, len(u.yattrs))
+	if raw {
+		fmt.Fprintf(&sb, ", %s", u.yattrs[0])
+	} else {
+		for i, y := range u.yattrs {
+			alias := fmt.Sprintf("a%d", i)
+			yAlias[y] = alias
+			fmt.Fprintf(&sb, ", %s(%s) AS %s", strings.ToUpper(agg), y, alias)
+		}
+	}
+	fmt.Fprintf(&sb, " FROM %s", ex.table.Name)
+	where := whereClause(u.slices, constraints)
+	if where != "" {
+		sb.WriteString(" WHERE " + where)
+	}
+	if !raw {
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(groupByList(u.xattrs, u.vd.XBin))
+	}
+	sb.WriteString(" ORDER BY " + strings.Join(xOutNames(u.xattrs, u.vd.XBin), ", "))
+	job := &sqlJob{sql: sb.String(), units: []*fetchUnit{u}, xCols: xOutNames(u.xattrs, u.vd.XBin), yAlias: yAlias, raw: raw}
+	if raw {
+		job.rawYCol = u.yattrs[0]
+	}
+	return job, nil
+}
+
+func xExpr(attr string, bin float64, binnable bool) string {
+	if bin > 0 && binnable {
+		return fmt.Sprintf("BIN(%s, %g) AS xbin", attr, bin)
+	}
+	return attr
+}
+
+func xOutNames(xattrs []string, bin float64) []string {
+	out := make([]string, len(xattrs))
+	for i, x := range xattrs {
+		if bin > 0 && i == 0 {
+			out[i] = "xbin"
+		} else {
+			out[i] = x
+		}
+	}
+	return out
+}
+
+func groupByList(xattrs []string, bin float64) string {
+	parts := make([]string, len(xattrs))
+	for i, x := range xattrs {
+		if bin > 0 && i == 0 {
+			parts[i] = fmt.Sprintf("BIN(%s, %g)", x, bin)
+		} else {
+			parts[i] = x
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+func whereClause(slices []vis.Slice, constraints string) string {
+	var parts []string
+	for _, s := range slices {
+		parts = append(parts, fmt.Sprintf("%s = '%s'", s.Attr, strings.ReplaceAll(s.Value, "'", "''")))
+	}
+	if strings.TrimSpace(constraints) != "" {
+		parts = append(parts, "("+constraints+")")
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// batchKey groups units that one SQL query can serve: same x shape, same
+// aggregation, same z attribute signature, same rawness.
+func batchKey(u *fetchUnit, agg string, raw bool) string {
+	zattrs := make([]string, len(u.slices))
+	for i, s := range u.slices {
+		zattrs[i] = s.Attr
+	}
+	return strings.Join(u.xattrs, "×") + "|" + fmt.Sprint(u.vd.XBin) + "|" + agg + "|" +
+		fmt.Sprint(raw) + "|" + strings.Join(zattrs, ",")
+}
+
+// batchSQL builds the intra-line batched SQL of Section 5.2: Z values become
+// IN lists, Y attributes become a multi-aggregate select, and the Z columns
+// are added to SELECT/GROUP BY/ORDER BY so results can be split.
+func (ex *executor) batchSQL(units []*fetchUnit, constraints string) (*sqlJob, error) {
+	u0 := units[0]
+	agg, raw := ex.aggFor(u0.vd)
+	// Collect distinct y attributes and z values per attribute, preserving
+	// first-seen order.
+	var yattrs []string
+	ySeen := make(map[string]bool)
+	zattrs := make([]string, len(u0.slices))
+	zvals := make([]map[string]bool, len(u0.slices))
+	zlists := make([][]string, len(u0.slices))
+	for i, s := range u0.slices {
+		zattrs[i] = s.Attr
+		zvals[i] = make(map[string]bool)
+	}
+	for _, u := range units {
+		for _, y := range u.yattrs {
+			if !ySeen[y] {
+				ySeen[y] = true
+				yattrs = append(yattrs, y)
+			}
+		}
+		for i, s := range u.slices {
+			if !zvals[i][s.Value] {
+				zvals[i][s.Value] = true
+				zlists[i] = append(zlists[i], s.Value)
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, x := range u0.xattrs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(xExpr(x, u0.vd.XBin, i == 0))
+	}
+	yAlias := make(map[string]string, len(yattrs))
+	if raw {
+		fmt.Fprintf(&sb, ", %s", yattrs[0])
+	} else {
+		for i, y := range yattrs {
+			alias := fmt.Sprintf("a%d", i)
+			yAlias[y] = alias
+			fmt.Fprintf(&sb, ", %s(%s) AS %s", strings.ToUpper(agg), y, alias)
+		}
+	}
+	for _, z := range zattrs {
+		fmt.Fprintf(&sb, ", %s", z)
+	}
+	fmt.Fprintf(&sb, " FROM %s", ex.table.Name)
+	var where []string
+	for i, z := range zattrs {
+		quoted := make([]string, len(zlists[i]))
+		for j, v := range zlists[i] {
+			quoted[j] = "'" + strings.ReplaceAll(v, "'", "''") + "'"
+		}
+		where = append(where, fmt.Sprintf("%s IN (%s)", z, strings.Join(quoted, ", ")))
+	}
+	if strings.TrimSpace(constraints) != "" {
+		where = append(where, "("+constraints+")")
+	}
+	if len(where) > 0 {
+		sb.WriteString(" WHERE " + strings.Join(where, " AND "))
+	}
+	orderCols := append(append([]string{}, zattrs...), xOutNames(u0.xattrs, u0.vd.XBin)...)
+	if !raw {
+		sb.WriteString(" GROUP BY ")
+		groupCols := append(append([]string{}, zattrs...), groupByList(u0.xattrs, u0.vd.XBin))
+		sb.WriteString(strings.Join(groupCols, ", "))
+	}
+	sb.WriteString(" ORDER BY " + strings.Join(orderCols, ", "))
+	job := &sqlJob{
+		sql:    sb.String(),
+		units:  units,
+		xCols:  xOutNames(u0.xattrs, u0.vd.XBin),
+		zCols:  zattrs,
+		yAlias: yAlias,
+		raw:    raw,
+	}
+	if raw {
+		job.rawYCol = yattrs[0]
+	}
+	return job, nil
+}
+
+// rowJobs compiles a resolved row into SQL jobs under the current
+// optimization level.
+func (ex *executor) rowJobs(rs *rowState, units []*fetchUnit) ([]*sqlJob, error) {
+	constraints, err := ex.expandConstraints(rs.row.Constraints)
+	if err != nil {
+		return nil, err
+	}
+	if ex.opts.Opt == NoOpt {
+		jobs := make([]*sqlJob, 0, len(units))
+		for _, u := range units {
+			j, err := ex.unitSQL(u, constraints)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, j)
+		}
+		return jobs, nil
+	}
+	// Intra-line batching: group compatible units into one query each.
+	groups := make(map[string][]*fetchUnit)
+	var keys []string
+	for _, u := range units {
+		agg, raw := ex.aggFor(u.vd)
+		k := batchKey(u, agg, raw)
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], u)
+	}
+	sort.Strings(keys)
+	var jobs []*sqlJob
+	for _, k := range keys {
+		j, err := ex.batchSQL(groups[k], constraints)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+// executeBatch runs the jobs of one request concurrently and splits their
+// results into the units' visualizations. It counts one request.
+func (ex *executor) executeBatch(jobs []*sqlJob) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	ex.stats.Requests++
+	ex.stats.SQLQueries += len(jobs)
+	for _, j := range jobs {
+		ex.sqlLog = append(ex.sqlLog, j.sql)
+	}
+	start := time.Now()
+	par := ex.opts.Parallelism
+	if par <= 0 {
+		par = 8
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	errs := make([]error, len(jobs))
+	results := make([]*engine.Result, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, j *sqlJob) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := ex.db.ExecuteSQL(j.sql)
+			results[i], errs[i] = res, err
+		}(i, j)
+	}
+	wg.Wait()
+	ex.stats.QueryTime += time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("zexec: executing %q: %w", jobs[i].sql, err)
+		}
+	}
+	for i, j := range jobs {
+		if err := splitJob(j, results[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitJob distributes a job's result rows into its units' visualizations.
+func splitJob(j *sqlJob, res *engine.Result) error {
+	xIdx := make([]int, len(j.xCols))
+	for i, c := range j.xCols {
+		xIdx[i] = res.ColIndex(c)
+		if xIdx[i] < 0 {
+			return fmt.Errorf("zexec: result missing x column %q", c)
+		}
+	}
+	zIdx := make([]int, len(j.zCols))
+	for i, c := range j.zCols {
+		zIdx[i] = res.ColIndex(c)
+		if zIdx[i] < 0 {
+			return fmt.Errorf("zexec: result missing z column %q", c)
+		}
+	}
+	// Index rows by their z-value signature.
+	rowsByZ := make(map[string][]dataset.Row)
+	var zOrder []string
+	for _, row := range res.Rows {
+		var kb strings.Builder
+		for _, zi := range zIdx {
+			kb.WriteString(row[zi].String())
+			kb.WriteByte('\x00')
+		}
+		k := kb.String()
+		if _, ok := rowsByZ[k]; !ok {
+			zOrder = append(zOrder, k)
+		}
+		rowsByZ[k] = append(rowsByZ[k], row)
+	}
+	for _, u := range j.units {
+		// z columns in job order correspond to the unit's slices in order.
+		var kb strings.Builder
+		for i := range j.zCols {
+			kb.WriteString(u.slices[i].Value)
+			kb.WriteByte('\x00')
+		}
+		rows := rowsByZ[kb.String()]
+		v := &vis.Visualization{
+			XAttr:   strings.Join(u.xattrs, "×"),
+			YAttr:   strings.Join(u.yattrs, "+"),
+			Slices:  u.slices,
+			VizType: u.vd.Type,
+		}
+		for _, row := range rows {
+			x := composeX(row, xIdx)
+			var y float64
+			if j.raw {
+				yi := res.ColIndex(j.rawYCol)
+				if yi < 0 {
+					return fmt.Errorf("zexec: result missing y column %q", j.rawYCol)
+				}
+				y = row[yi].Float()
+			} else {
+				for _, yattr := range u.yattrs {
+					alias := j.yAlias[yattr]
+					yi := res.ColIndex(alias)
+					if yi < 0 {
+						return fmt.Errorf("zexec: result missing aggregate column %q", alias)
+					}
+					y += row[yi].Float()
+				}
+			}
+			v.Points = append(v.Points, vis.Point{X: x, Y: y})
+		}
+		u.out = v
+	}
+	return nil
+}
+
+// composeX renders a result row's x value: the single x column's value, or a
+// composite "a|b" for × axes.
+func composeX(row dataset.Row, xIdx []int) dataset.Value {
+	if len(xIdx) == 1 {
+		return row[xIdx[0]]
+	}
+	parts := make([]string, len(xIdx))
+	for i, xi := range xIdx {
+		parts[i] = row[xi].String()
+	}
+	return dataset.SV(strings.Join(parts, "|"))
+}
+
+// collectionFromUnits assembles a row's collection after its units are
+// fetched.
+func collectionFromUnits(units []*fetchUnit) *Collection {
+	sorted := append([]*fetchUnit(nil), units...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].order < sorted[j].order })
+	c := &Collection{}
+	for _, u := range sorted {
+		c.Vis = append(c.Vis, u.out)
+		c.combos = append(c.combos, u.assign)
+	}
+	return c
+}

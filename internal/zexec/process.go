@@ -1,0 +1,351 @@
+package zexec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vis"
+	"repro/internal/zql"
+)
+
+// loopTuple is one assignment of the loop variables of a task.
+type loopTuple struct {
+	assign map[string]element
+	elems  []element // per loop var, in declaration order
+	score  float64
+}
+
+// loopGroups partitions variables into lockstep groups: variables declared
+// together (z-pairs, multi-output tasks) iterate zipped; independent
+// variables iterate as a Cartesian product in the order given.
+func (ex *executor) loopGroups(vars []string) ([][]string, error) {
+	var out [][]string
+	used := make(map[string]bool)
+	for _, v := range vars {
+		if used[v] {
+			continue
+		}
+		g, ok := ex.groups[v]
+		if !ok {
+			used[v] = true
+			out = append(out, []string{v})
+			continue
+		}
+		// Use the group only if every group member is in vars; otherwise the
+		// variable iterates alone over its own binding.
+		all := true
+		for _, gv := range g.vars {
+			if !contains(vars, gv) {
+				all = false
+				break
+			}
+		}
+		if all {
+			for _, gv := range g.vars {
+				used[gv] = true
+			}
+			out = append(out, g.vars)
+		} else {
+			used[v] = true
+			out = append(out, []string{v})
+		}
+	}
+	return out, nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// iterateVars yields every assignment of the given variables, respecting
+// lockstep groups, calling fn with the per-variable elements in vars order.
+func (ex *executor) iterateVars(vars []string, base map[string]element, fn func(assign map[string]element, elems []element) error) error {
+	groups, err := ex.loopGroups(vars)
+	if err != nil {
+		return err
+	}
+	// Build per-group tuple lists.
+	type groupTuples struct {
+		vars   []string
+		tuples [][]element
+	}
+	var gts []groupTuples
+	for _, g := range groups {
+		if len(g) > 1 {
+			grp := ex.groups[g[0]]
+			gts = append(gts, groupTuples{vars: g, tuples: grp.tuples})
+			continue
+		}
+		b, ok := ex.bindings[g[0]]
+		if !ok {
+			return fmt.Errorf("zexec: process variable %s is not defined", g[0])
+		}
+		tuples := make([][]element, len(b.elems))
+		for i, e := range b.elems {
+			tuples[i] = []element{e}
+		}
+		gts = append(gts, groupTuples{vars: g, tuples: tuples})
+	}
+	idx := make([]int, len(gts))
+	for {
+		assign := make(map[string]element, len(vars)+len(base))
+		for k, v := range base {
+			assign[k] = v
+		}
+		for gi, gt := range gts {
+			if len(gt.tuples) == 0 {
+				return nil
+			}
+			t := gt.tuples[idx[gi]]
+			for vi, v := range gt.vars {
+				assign[v] = t[vi]
+			}
+		}
+		elems := make([]element, len(vars))
+		for i, v := range vars {
+			elems[i] = assign[v]
+		}
+		if err := fn(assign, elems); err != nil {
+			return err
+		}
+		gi := len(gts) - 1
+		for gi >= 0 {
+			idx[gi]++
+			if idx[gi] < len(gts[gi].tuples) {
+				break
+			}
+			idx[gi] = 0
+			gi--
+		}
+		if gi < 0 {
+			return nil
+		}
+	}
+}
+
+// runProcess executes one process declaration of a row.
+func (ex *executor) runProcess(rs *rowState, d *zql.ProcessDecl) error {
+	if d.Mech == zql.MechR {
+		return ex.runR(d)
+	}
+	var tuples []loopTuple
+	err := ex.iterateVars(d.LoopVars, nil, func(assign map[string]element, elems []element) error {
+		score, err := ex.evalInner(d, 0, assign)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", rs.row.Line, err)
+		}
+		tuples = append(tuples, loopTuple{assign: assign, elems: elems, score: score})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Sort: argmin ascending, argmax descending; argany keeps input order.
+	switch d.Mech {
+	case zql.MechArgmin:
+		sort.SliceStable(tuples, func(i, j int) bool { return tuples[i].score < tuples[j].score })
+	case zql.MechArgmax:
+		sort.SliceStable(tuples, func(i, j int) bool { return tuples[i].score > tuples[j].score })
+	}
+	// Filter.
+	var kept []loopTuple
+	switch d.Filter {
+	case zql.FilterK:
+		if d.K < 0 || d.K >= len(tuples) {
+			kept = tuples
+		} else {
+			kept = tuples[:d.K]
+		}
+	case zql.FilterT:
+		for _, t := range tuples {
+			if thresholdOK(t.score, d.TOp, d.TVal) {
+				kept = append(kept, t)
+			}
+		}
+	default:
+		kept = tuples
+	}
+	ex.bindOutputs(d.OutVars, kept)
+	return nil
+}
+
+func thresholdOK(score float64, op string, val float64) bool {
+	switch op {
+	case ">":
+		return score > val
+	case "<":
+		return score < val
+	case ">=":
+		return score >= val
+	case "<=":
+		return score <= val
+	}
+	return false
+}
+
+// bindOutputs declares the task's output variables from the kept tuples,
+// registering them as a lockstep group when there are several.
+func (ex *executor) bindOutputs(outVars []string, kept []loopTuple) {
+	outTuples := make([][]element, len(kept))
+	for i, t := range kept {
+		outTuples[i] = t.elems
+	}
+	for vi, name := range outVars {
+		b := &binding{}
+		for _, t := range outTuples {
+			b.elems = append(b.elems, t[vi])
+		}
+		ex.bindings[name] = b
+	}
+	if len(outVars) > 1 {
+		g := &varGroup{vars: outVars, tuples: outTuples}
+		for _, name := range outVars {
+			ex.groups[name] = g
+		}
+	}
+}
+
+// evalInner evaluates the nested inner aggregations then the leaf objective.
+func (ex *executor) evalInner(d *zql.ProcessDecl, level int, assign map[string]element) (float64, error) {
+	if level == len(d.Inner) {
+		return ex.evalLeaf(d.Expr, assign)
+	}
+	ia := d.Inner[level]
+	first := true
+	var acc float64
+	err := ex.iterateVars(ia.Vars, assign, func(inner map[string]element, _ []element) error {
+		v, err := ex.evalInner(d, level+1, inner)
+		if err != nil {
+			return err
+		}
+		switch {
+		case first:
+			acc = v
+			first = false
+		case ia.Fn == "min" && v < acc:
+			acc = v
+		case ia.Fn == "max" && v > acc:
+			acc = v
+		case ia.Fn == "sum":
+			acc += v
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if first {
+		return 0, fmt.Errorf("inner %s over empty variable set", ia.Fn)
+	}
+	return acc, nil
+}
+
+// lookupVis resolves a name variable to the visualization selected by the
+// current assignment.
+func (ex *executor) lookupVis(name string, assign map[string]element) (*vis.Visualization, error) {
+	c, ok := ex.colls[name]
+	if !ok {
+		return nil, fmt.Errorf("name variable %s has no collection", name)
+	}
+	v := c.find(assign)
+	if v == nil {
+		return nil, fmt.Errorf("no visualization in %s matches the current loop assignment", name)
+	}
+	return v, nil
+}
+
+func (ex *executor) evalLeaf(e *zql.ObjExpr, assign map[string]element) (float64, error) {
+	switch e.Kind {
+	case zql.ObjT:
+		v, err := ex.lookupVis(e.F1, assign)
+		if err != nil {
+			return 0, err
+		}
+		return vis.Trend(v), nil
+	case zql.ObjD:
+		v1, err := ex.lookupVis(e.F1, assign)
+		if err != nil {
+			return 0, err
+		}
+		v2, err := ex.lookupVis(e.F2, assign)
+		if err != nil {
+			return 0, err
+		}
+		return vis.Distance(v1, v2, ex.opts.Metric), nil
+	case zql.ObjU:
+		fn, ok := ex.opts.UserFuncs[e.User]
+		if !ok {
+			return 0, fmt.Errorf("user function %s is not registered", e.User)
+		}
+		args := make([]*vis.Visualization, len(e.Args))
+		for i, a := range e.Args {
+			v, err := ex.lookupVis(a, assign)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		return fn(args), nil
+	}
+	return 0, fmt.Errorf("unknown objective")
+}
+
+// runR executes an R(k, vars, f) representative-selection task.
+func (ex *executor) runR(d *zql.ProcessDecl) error {
+	var tuples []loopTuple
+	var viss []*vis.Visualization
+	err := ex.iterateVars(d.RVars, nil, func(assign map[string]element, elems []element) error {
+		v, err := ex.lookupVis(d.RName, assign)
+		if err != nil {
+			return err
+		}
+		tuples = append(tuples, loopTuple{assign: assign, elems: elems})
+		viss = append(viss, v)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	picked := vis.Representative(viss, d.RK, ex.opts.Metric, ex.opts.Seed)
+	kept := make([]loopTuple, 0, len(picked))
+	for _, i := range picked {
+		kept = append(kept, tuples[i])
+	}
+	ex.bindOutputs(d.OutVars, kept)
+	return nil
+}
+
+// processRefs lists the name variables a declaration reads.
+func processRefs(d *zql.ProcessDecl) []string {
+	var out []string
+	if d.Mech == zql.MechR {
+		return []string{d.RName}
+	}
+	if d.Expr != nil {
+		switch d.Expr.Kind {
+		case zql.ObjT:
+			out = append(out, d.Expr.F1)
+		case zql.ObjD:
+			out = append(out, d.Expr.F1, d.Expr.F2)
+		case zql.ObjU:
+			out = append(out, d.Expr.Args...)
+		}
+	}
+	return out
+}
+
+// processVarRefs lists the axis variables a declaration iterates.
+func processVarRefs(d *zql.ProcessDecl) []string {
+	var out []string
+	out = append(out, d.LoopVars...)
+	out = append(out, d.RVars...)
+	for _, ia := range d.Inner {
+		out = append(out, ia.Vars...)
+	}
+	return out
+}

@@ -1,0 +1,364 @@
+package zexec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/vis"
+	"repro/internal/zql"
+)
+
+func (ex *executor) run() (*Result, error) {
+	ex.table = ex.db.Table(ex.opts.Table)
+	if ex.table == nil {
+		return nil, fmt.Errorf("zexec: back-end has no table %q", ex.opts.Table)
+	}
+	ex.bindings = make(map[string]*binding)
+	ex.groups = make(map[string]*varGroup)
+	ex.colls = make(map[string]*Collection)
+	for i, r := range ex.q.Rows {
+		ex.rows = append(ex.rows, &rowState{row: r, idx: i})
+	}
+	var err error
+	switch ex.opts.Opt {
+	case NoOpt, IntraLine:
+		err = ex.runSequential()
+	case IntraTask:
+		err = ex.runIntraTask()
+	default:
+		err = ex.runInterTask()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ex.assemble(), nil
+}
+
+func (ex *executor) assemble() *Result {
+	res := &Result{
+		Collections: ex.colls,
+		Bindings:    make(map[string][]string, len(ex.bindings)),
+		SQLLog:      ex.sqlLog,
+		Stats:       ex.stats,
+	}
+	for _, name := range sortedVarNames(ex.bindings) {
+		b := ex.bindings[name]
+		vals := make([]string, len(b.elems))
+		for i, e := range b.elems {
+			vals[i] = e.display()
+		}
+		res.Bindings[name] = vals
+	}
+	for _, rs := range ex.rows {
+		if rs.row.Name.Output && rs.coll != nil {
+			res.Outputs = append(res.Outputs, rs.coll)
+		}
+	}
+	return res
+}
+
+// prepareNonSQL handles user-input and derived rows, which fetch nothing.
+// It returns true if the row was one of those.
+func (ex *executor) prepareNonSQL(rs *rowState) (bool, error) {
+	r := rs.row
+	if r.Name.UserInput {
+		input, ok := ex.opts.Inputs[r.Name.Var]
+		if !ok {
+			return true, fmt.Errorf("zexec: line %d: no user input provided for -%s", r.Line, r.Name.Var)
+		}
+		rs.coll = &Collection{Vis: []*vis.Visualization{input}, combos: []map[string]element{{}}, wildcard: true}
+		ex.colls[r.Name.Var] = rs.coll
+		rs.fetched = true
+		return true, nil
+	}
+	if r.Name.Expr != nil {
+		coll, err := ex.deriveCollection(r.Name.Expr, rs)
+		if err != nil {
+			return true, fmt.Errorf("zexec: line %d: %w", r.Line, err)
+		}
+		rs.coll = coll
+		// Resolve the row's cells against the derived collection so that
+		// `_` bindings (y1 <- _, v2 <- 'product'._) get defined.
+		if err := ex.resolveRow(rs, coll); err != nil {
+			return true, fmt.Errorf("zexec: line %d: %w", r.Line, err)
+		}
+		if r.Name.Var != "" {
+			ex.colls[r.Name.Var] = coll
+		}
+		rs.fetched = true
+		return true, nil
+	}
+	return false, nil
+}
+
+// deriveCollection evaluates a Name-column expression.
+func (ex *executor) deriveCollection(e *zql.NameExpr, rs *rowState) (*Collection, error) {
+	left, ok := ex.colls[e.Left]
+	if !ok {
+		return nil, fmt.Errorf("derived name refers to unfetched %s", e.Left)
+	}
+	var right *Collection
+	if e.Right != "" {
+		right, ok = ex.colls[e.Right]
+		if !ok {
+			return nil, fmt.Errorf("derived name refers to unfetched %s", e.Right)
+		}
+	}
+	switch e.Kind {
+	case zql.NamePlus:
+		return left.concat(right), nil
+	case zql.NameMinus:
+		return left.minus(right), nil
+	case zql.NameIntersect:
+		return left.intersect(right), nil
+	case zql.NameRange:
+		return left.dedup(), nil
+	case zql.NameIndex:
+		return left.index(e.I), nil
+	case zql.NameSlice:
+		return left.slice(e.I, e.J), nil
+	case zql.NameAlias:
+		return left, nil
+	case zql.NameOrder:
+		// Resolve the row first to find the `->` order markers.
+		if err := ex.resolveRow(rs, left); err != nil {
+			return nil, err
+		}
+		if len(rs.orderMarkers) == 0 {
+			return nil, fmt.Errorf("f.order row has no -> order markers")
+		}
+		return left.reorder(rs.orderMarkers), nil
+	}
+	return nil, fmt.Errorf("unhandled name expression")
+}
+
+// fetchRows resolves, compiles, and fetches the given rows as one request,
+// then builds their collections and marks them fetched.
+func (ex *executor) fetchRows(states []*rowState) error {
+	var jobs []*sqlJob
+	unitsByRow := make(map[*rowState][]*fetchUnit, len(states))
+	for _, rs := range states {
+		units, err := ex.buildUnits(rs)
+		if err != nil {
+			return err
+		}
+		rowJobs, err := ex.rowJobs(rs, units)
+		if err != nil {
+			return fmt.Errorf("zexec: line %d: %w", rs.row.Line, err)
+		}
+		unitsByRow[rs] = units
+		jobs = append(jobs, rowJobs...)
+	}
+	if ex.opts.Opt == NoOpt {
+		// The naive compiler issues every query as its own request.
+		for _, j := range jobs {
+			if err := ex.executeBatch([]*sqlJob{j}); err != nil {
+				return err
+			}
+		}
+	} else {
+		if err := ex.executeBatch(jobs); err != nil {
+			return err
+		}
+	}
+	for _, rs := range states {
+		rs.coll = collectionFromUnits(unitsByRow[rs])
+		if rs.row.Name.Var != "" {
+			ex.colls[rs.row.Name.Var] = rs.coll
+		}
+		rs.fetched = true
+	}
+	return nil
+}
+
+// runRowProcesses executes the row's process declarations in order.
+func (ex *executor) runRowProcesses(rs *rowState) error {
+	start := time.Now()
+	defer func() { ex.stats.ProcessTime += time.Since(start) }()
+	for i := range rs.row.Process {
+		if err := ex.runProcess(rs, &rs.row.Process[i]); err != nil {
+			return fmt.Errorf("zexec: line %d: %w", rs.row.Line, err)
+		}
+	}
+	rs.processed = true
+	return nil
+}
+
+// runSequential is NoOpt / IntraLine: rows strictly in order, one (or N)
+// requests per row.
+func (ex *executor) runSequential() error {
+	for _, rs := range ex.rows {
+		handled, err := ex.prepareNonSQL(rs)
+		if err != nil {
+			return err
+		}
+		if !handled {
+			if err := ex.resolveRow(rs, nil); err != nil {
+				return fmt.Errorf("zexec: line %d: %w", rs.row.Line, err)
+			}
+			if err := ex.fetchRows([]*rowState{rs}); err != nil {
+				return err
+			}
+		}
+		if err := ex.runRowProcesses(rs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runIntraTask batches the SQL of consecutive rows up to and including the
+// next row that carries a task, then runs the accumulated tasks in order.
+func (ex *executor) runIntraTask() error {
+	var batch []*rowState
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := ex.fetchRows(batch); err != nil {
+			return err
+		}
+		for _, rs := range batch {
+			if err := ex.runRowProcesses(rs); err != nil {
+				return err
+			}
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for _, rs := range ex.rows {
+		// A row whose variables depend on an unflushed task forces a flush
+		// first; detect by attempting resolution and flushing on failure.
+		handled, err := ex.prepareNonSQL(rs)
+		if handled {
+			if err != nil {
+				// Retry after flushing pending work.
+				if ferr := flush(); ferr != nil {
+					return ferr
+				}
+				if _, err = ex.prepareNonSQL(rs); err != nil {
+					return err
+				}
+			}
+			if err := ex.runRowProcesses(rs); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := ex.resolveRow(rs, nil); err != nil {
+			if ferr := flush(); ferr != nil {
+				return ferr
+			}
+			if err := ex.resolveRow(rs, nil); err != nil {
+				return fmt.Errorf("zexec: line %d: %w", rs.row.Line, err)
+			}
+		}
+		batch = append(batch, rs)
+		if len(rs.row.Process) > 0 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// runInterTask implements the query-tree execution of Section 5.2: in each
+// round, every row whose dependencies are satisfied is resolved and its SQL
+// batched into a single request; then every task whose inputs are fetched
+// runs. Rounds repeat until all rows complete.
+func (ex *executor) runInterTask() error {
+	for {
+		progress := false
+		var batch []*rowState
+		for _, rs := range ex.rows {
+			if rs.fetched {
+				continue
+			}
+			handled, err := ex.prepareNonSQL(rs)
+			if handled {
+				if err == nil {
+					progress = true
+				}
+				continue
+			}
+			// Check readiness: every referenced variable defined.
+			ready := true
+			for _, ref := range rowVarRefs(rs.row) {
+				if !ex.varDefined(ref) {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if err := ex.resolveRow(rs, nil); err != nil {
+				continue // a dependency resolved later; retry next round
+			}
+			batch = append(batch, rs)
+		}
+		if len(batch) > 0 {
+			if err := ex.fetchRows(batch); err != nil {
+				return err
+			}
+			progress = true
+		}
+		// Run ready tasks in row order.
+		for _, rs := range ex.rows {
+			if !rs.fetched || rs.processed || len(rs.row.Process) == 0 {
+				continue
+			}
+			ready := true
+			for i := range rs.row.Process {
+				d := &rs.row.Process[i]
+				for _, name := range processRefs(d) {
+					if _, ok := ex.colls[name]; !ok {
+						ready = false
+					}
+				}
+				for _, v := range processVarRefs(d) {
+					// Output vars of earlier decls in the same cell are fine;
+					// they get defined as the decls run.
+					if !ex.varDefined(v) && !contains(d.OutVars, v) && !declaredBySameRow(rs.row, v) {
+						ready = false
+					}
+				}
+			}
+			if !ready {
+				continue
+			}
+			if err := ex.runRowProcesses(rs); err != nil {
+				return err
+			}
+			progress = true
+		}
+		// Mark process-less fetched rows as processed.
+		done := true
+		for _, rs := range ex.rows {
+			if rs.fetched && !rs.processed && len(rs.row.Process) == 0 {
+				rs.processed = true
+			}
+			if !rs.fetched || !rs.processed {
+				done = false
+			}
+		}
+		if done {
+			return nil
+		}
+		if !progress {
+			return fmt.Errorf("zexec: query tree is stuck: circular or undefined variable dependencies")
+		}
+	}
+}
+
+// declaredBySameRow reports whether a variable is declared by one of the
+// row's own process declarations (earlier in the same cell).
+func declaredBySameRow(r *zql.Row, name string) bool {
+	for _, d := range r.Process {
+		if contains(d.OutVars, name) {
+			return true
+		}
+	}
+	return false
+}

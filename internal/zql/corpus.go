@@ -1,0 +1,190 @@
+package zql
+
+// Corpus holds every ZQL query that appears in the paper, keyed by its table
+// number, rendered in this package's ASCII syntax. Differences from the
+// thesis typography: `<-` for the left arrow, `->` for the order marker, `_`
+// for the bind-to-derived-component symbol, `|` for set union, `x1 in {...}`
+// for Polaris × iteration terms, and concrete attribute sets in place of the
+// abstract set names C and M. Table 3.9's regex is written as a SQL LIKE.
+//
+// The corpus doubles as the parser's acceptance suite and as the input for
+// the executor's paper-query tests.
+var Corpus = map[string]string{
+	// Chapter 2 — motivating examples.
+	"2.1": `
+NAME | X      | Y       | Z                 | CONSTRAINTS   | VIZ                | PROCESS
+*f1  | 'year' | 'sales' | v1 <- 'product'.* | location='US' | bar.(y=agg('sum')) |`,
+
+	"2.2": `
+NAME | X      | Y       | Z                 | PROCESS
+-f1  |        |         |                   |
+f2   | 'year' | 'sales' | v1 <- 'product'.* | v2 <- argmin(v1)[k=1] D(f1, f2)
+*f3  | 'year' | 'sales' | v2                |`,
+
+	"2.3": `
+NAME | X      | Y        | Z                               | CONSTRAINTS   | PROCESS
+f1   | 'year' | 'sales'  | v1 <- 'product'.*               | location='US' | v2 <- argany(v1)[t>0] T(f1)
+f2   | 'year' | 'sales'  | v1                              | location='UK' | v3 <- argany(v1)[t<0] T(f2)
+f3   | 'year' | 'sales'  | v4 <- (v2.range & v3.range)     |               | v5 <- R(10, v4, f3)
+*f4  | 'year' | 'profit' | v5                              |               |`,
+
+	// Chapter 3 — language reference examples.
+	"3.1": `
+NAME | X      | Y                          | CONSTRAINTS
+*f1  | 'year' | y1 <- {'profit', 'sales'}  | product='stapler'`,
+
+	"3.2": `
+NAME | X         | Y                  | CONSTRAINTS
+*f1  | 'product' | 'profit' + 'sales' | location='US'`,
+
+	"3.3": `
+NAME | X                                                | Y
+*f1  | 'product' × (x1 in {'county','state','country'}) | 'sales'`,
+
+	"3.4": `
+NAME | X      | Y       | Z
+*f1  | 'year' | 'sales' | 'product'.'chair'
+*f2  | 'year' | 'sales' | 'product'.'desk'`,
+
+	"3.5": `
+NAME | X      | Y       | Z
+*f1  | 'year' | 'sales' | v1 <- 'product'.*`,
+
+	"3.6": `
+NAME | X      | Y       | Z
+*f1  | 'year' | 'sales' | z1.v1 <- (* \ {'year','sales'}).*`,
+
+	"3.7": `
+X      | Y       | Z
+'year' | 'sales' | z1.v1 <- ('product'.{'chair','desk'} | 'location'.'US')`,
+
+	"3.8": `
+X      | Y       | Z                 | Z2
+'year' | 'sales' | v1 <- 'product'.* | v2 <- 'location'.{'USA','Canada'}`,
+
+	"3.9": `
+NAME | X      | Y       | CONSTRAINTS
+*f1  | 'time' | 'sales' | product='chair' AND zip LIKE '02___'`,
+
+	"3.10": `
+NAME | X        | Y       | VIZ
+*f1  | 'weight' | 'sales' | bar.(x=bin(20), y=agg('sum'))`,
+
+	"3.11": `
+NAME | X        | Y       | VIZ
+*f1  | 'weight' | 'sales' | s1 <- bar.{(x=bin(20), y=agg('sum')), (x=bin(30), y=agg('sum')), (x=bin(40), y=agg('sum'))}`,
+
+	"3.12": `
+NAME | X        | Y       | VIZ
+*f1  | 'weight' | 'sales' | t1 <- {bar, dotplot}.(x=bin(20), y=agg('sum'))`,
+
+	"3.13": `
+NAME | X      | Y       | Z                              | PROCESS
+*f1  | 'year' | 'sales' | 'product'.'stapler'            |
+f2   | 'year' | 'sales' | v1 <- 'product'.(* \ {'stapler'}) | v2 <- argmin(v1)[k=10] D(f1, f2)
+*f3  | 'year' | 'sales' | v2                             |`,
+
+	"3.14": `
+NAME | X                         | Y                        | Z                   | PROCESS
+-f1  |                           |                          |                     |
+f2   | x1 <- {'time','location'} | y1 <- {'sales','profit'} | 'product'.'stapler' | x2, y2 <- argmin(x1, y1)[k=10] D(f1, f2)
+*f3  | x2                        | y2                       | 'product'.'stapler' |`,
+
+	"3.15": `
+NAME         | X      | Y       | Z                 | PROCESS
+f1           | 'year' | 'sales' | v1 <- 'product'.* | u1 <- argmin(v1)[k=inf] T(f1)
+*f2=f1.order |        |         | u1 ->             |`,
+
+	"3.16": `
+NAME     | X      | Y        | Z                                  | PROCESS
+f1       | 'year' | 'sales'  | v1 <- 'product'.(* \ {'stapler'})  |
+f2       | 'year' | 'sales'  | 'product'.'stapler'                |
+f3=f1+f2 |        | y1 <- _  | v2 <- 'product'._                  |
+f4       | 'year' | 'profit' | v2                                 | v3 <- argmax(v2)[k=10] D(f3, f4)
+*f5      | 'year' | 'sales'  | v3                                 |`,
+
+	"3.17": `
+NAME | X      | Y        | Z                 | PROCESS
+f1   | 'year' | 'sales'  | v1 <- 'product'.* |
+f2   | 'year' | 'profit' | v1                | v2 <- argmax(v1)[k=10] D(f1, f2)
+*f3  | 'year' | 'sales'  | v2                |
+*f4  | 'year' | 'profit' | v2                |`,
+
+	"3.18": `
+NAME | X      | Y        | Z                 | CONSTRAINTS            | PROCESS
+f1   | 'year' | 'sales'  | v1 <- 'product'.* |                        | v2 <- argmax(v1)[k=10] T(f1)
+*f2  | 'year' | 'profit' |                   | product IN (v2.range)  |`,
+
+	"3.19": `
+NAME | X                          | Y                        | Z                 | PROCESS
+f1   | x1 <- {'weight','size'}    | y1 <- {'sales','profit'} | 'product'.'chair' |
+f2   | x1                         | y1                       | 'product'.'desk'  | x2, y2 <- argmax(x1, y1)[k=10] D(f1, f2)
+*f3  | x2                         | y2                       | 'product'.'chair' |
+*f4  | x2                         | y2                       | 'product'.'desk'  |`,
+
+	"3.20": `
+NAME | X      | Y       | Z                 | PROCESS
+f1   | 'year' | 'sales' | v1 <- 'product'.* | v2 <- R(10, v1, f1)
+f2   | 'year' | 'sales' | v2                | v3 <- argmax(v1)[k=10] min(v2) D(f1, f2)
+*f3  | 'year' | 'sales' | v3                |`,
+
+	"3.21": `
+NAME | X      | Y       | Z                 | PROCESS
+-f1  |        |         |                   |
+f2   | 'year' | 'sales' | v1 <- 'product'.* | (v2 <- argmax(v1)[k=1] D(f1, f2)), (v3 <- argmin(v1)[k=1] D(f1, f2))
+*f3  | 'year' | 'sales' | v2                |
+*f4  | 'year' | 'sales' | v3                |`,
+
+	"3.22": `
+NAME | X      | Y        | Z                                 | VIZ                | PROCESS
+f1   | 'year' | 'profit' | 'product'.'stapler'               | bar.(y=agg('sum')) |
+f2   | 'year' | 'profit' | v1 <- 'product'.(* \ {'stapler'}) | bar.(y=agg('sum')) | v2 <- argmin(v1)[k=100] D(f1, f2)
+f3   | 'year' | 'sales'  | v2                                | bar.(y=agg('sum')) | v3 <- R(10, v2, f3)
+*f4  | 'year' | 'sales'  | v3                                | bar.(y=agg('sum')) |`,
+
+	"3.23": `
+NAME | X       | Y                        | Z                 | CONSTRAINTS | VIZ                | PROCESS
+f1   | 'month' | 'profit'                 | v1 <- 'product'.* | year=2015   | bar.(y=agg('sum')) |
+f2   | 'month' | 'sales'                  | v1                | year=2015   | bar.(y=agg('sum')) | v2 <- argmax(v1)[k=10] D(f1, f2)
+*f3  | 'month' | y1 <- {'sales','profit'} | v2                | year=2015   | bar.(y=agg('sum')) |`,
+
+	"3.24": `
+NAME | X      | Y                                   | Z                           | VIZ                | PROCESS
+f1   | 'year' | 'sales'                             | v1 <- 'product'.*           | bar.(y=agg('sum')) | v2 <- R(1, v1, f1)
+f2   | 'year' | y1 <- {'sales','profit','revenue'}  | v2                          | bar.(y=agg('sum')) | v3 <- argmax(v1)[k=1] T(f1)
+f3   | 'year' | y1                                  | v3                          | bar.(y=agg('sum')) | y2, v4, v5 <- argmax(y1, v2, v3)[k=10] D(f2, f3)
+*f4  | 'year' | y2                                  | v6 <- (v4.range | v5.range) | bar.(y=agg('sum')) |`,
+
+	"3.25": `
+NAME | X                                  | Y                                  | Z | VIZ         | PROCESS
+f1   | x1 <- {'sales','profit','weight'}  | y1 <- {'sales','profit','weight'}  |   |             |
+f2   | x2 <- {'sales','profit','weight'}  | y2 <- {'sales','profit','weight'}  |   |             | x3, y3 <- argmax(x1, y1)[k=1] sum(x2, y2) D(f1, f2)
+*f3  | x3                                 | y3                                 |   | scatterplot |`,
+
+	// Chapter 5 — optimization examples.
+	"5.1": `
+NAME | X      | Y        | Z                                   | CONSTRAINTS   | VIZ                | PROCESS
+f1   | 'year' | 'sales'  | v1 <- 'product'.{'chair','desk','stapler','table','printer'} | location='US' | bar.(y=agg('sum')) | v2 <- argany(v1)[t>0] T(f1)
+f2   | 'year' | 'sales'  | v1                                  | location='UK' | bar.(y=agg('sum')) | v3 <- argany(v1)[t<0] T(f2)
+*f3  | 'year' | 'profit' | v4 <- (v2.range | v3.range)         |               | bar.(y=agg('sum')) |`,
+
+	"5.2": `
+NAME | X          | Y        | Z                                   | CONSTRAINTS | VIZ                | PROCESS
+f1   | 'location' | 'sales'  | v1 <- 'product'.{'chair','desk','stapler','table','printer'} | year=2010   | bar.(y=agg('sum')) |
+f2   | 'location' | 'sales'  | v1                                  | year=2015   | bar.(y=agg('sum')) | v2 <- argmax(v1)[k=10] D(f1, f2)
+*f3  | 'location' | 'profit' | v2                                  | year=2010   | bar.(y=agg('sum')) |
+*f4  | 'location' | 'profit' | v2                                  | year=2015   | bar.(y=agg('sum')) |`,
+
+	// Chapter 7 — experiment queries on the airline-like dataset.
+	"7.1": `
+NAME | X      | Y                                  | Z                                      | PROCESS
+f1   | 'year' | 'DepDelay'                         | v1 <- 'airport'.{'JFK','SFO','ORD','LAX','ATL'} | v2 <- argany(v1)[t>0] T(f1)
+f2   | 'year' | 'WeatherDelay'                     | v1                                     | v3 <- argany(v1)[t>0] T(f2)
+*f3  | 'year' | y3 <- {'DepDelay','WeatherDelay'}  | v4 <- (v2.range | v3.range)            |`,
+
+	"7.2": `
+NAME | X        | Y                                  | Z                                      | CONSTRAINTS | PROCESS
+f1   | 'Day'    | 'ArrDelay'                         | v1 <- 'airport'.{'JFK','SFO','ORD','LAX','ATL'} | Month='06'  |
+f2   | 'Day'    | 'ArrDelay'                         | v1                                     | Month='12'  | v2 <- argmax(v1)[k=10] D(f1, f2)
+*f3  | 'Month'  | y1 <- {'ArrDelay','WeatherDelay'}  | v2                                     |             |`,
+}

@@ -1,0 +1,57 @@
+package zql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the ZQL parser never panics and that whatever it accepts
+// has a well-formed AST. Run with `go test -fuzz=FuzzParse ./internal/zql`.
+func FuzzParse(f *testing.F) {
+	for _, src := range Corpus {
+		f.Add(src)
+	}
+	f.Add("NAME | X\n*f1 | 'a'")
+	f.Add("NAME | X | Y | Z | Z2 | CONSTRAINTS | VIZ | PROCESS\nf1|||||||")
+	f.Add("X\n'a' + 'b' × 'c'")
+	f.Add("NAME | PROCESS\nf1 | v1, v2 <- argmin(a, b)[k=inf] min(c) sum(d, e) D(f1, f2)")
+	f.Add("NAME\nf1=f1[1:2]")
+	f.Add("Z\n{'a'} \\ {'b'} & v1.range | *")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if len(q.Rows) == 0 {
+			t.Fatal("accepted query with no rows")
+		}
+		for _, r := range q.Rows {
+			for _, d := range r.Process {
+				if d.Mech != MechR && len(d.OutVars) != len(d.LoopVars) {
+					t.Fatalf("accepted arity mismatch: %+v", d)
+				}
+				if d.Mech == MechR && (d.RK <= 0 || d.RName == "") {
+					t.Fatalf("accepted malformed R: %+v", d)
+				}
+			}
+		}
+	})
+}
+
+// FuzzLexCell asserts the cell lexer terminates and never panics.
+func FuzzLexCell(f *testing.F) {
+	f.Add("v1 <- 'product'.(* \\ {'a','b'})")
+	f.Add("bar.{(x=bin(20), y=agg('sum'))}")
+	f.Add("'unterminated")
+	f.Add("-5.5.range ->")
+	f.Add(strings.Repeat("(", 100))
+	f.Fuzz(func(t *testing.T, cell string) {
+		toks, err := lexCell(cell)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tEOF {
+			t.Fatal("lexer must end with EOF")
+		}
+	})
+}

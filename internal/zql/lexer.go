@@ -1,0 +1,209 @@
+package zql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString // 'quoted'
+	tNumber
+	tSym
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// cellLexer tokenizes the contents of one ZQL table cell.
+type cellLexer struct {
+	src  string
+	pos  int
+	toks []tok
+}
+
+// twoCharSyms are matched before single characters.
+var twoCharSyms = []string{"<-", "->", "<=", ">="}
+
+func lexCell(src string) ([]tok, error) {
+	l := &cellLexer{src: src}
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		switch {
+		case r == ' ' || r == '\t':
+			l.pos += size
+		case r == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(r):
+			l.lexNumber()
+		case r == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' && !l.prevIsOperand():
+			l.lexNumber()
+		case unicode.IsLetter(r) || r == '_':
+			l.lexIdent()
+		case r == '×':
+			l.toks = append(l.toks, tok{kind: tSym, text: "×", pos: l.pos})
+			l.pos += size
+		default:
+			if err := l.lexSym(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, tok{kind: tEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+// prevIsOperand reports whether the previous token could end an expression,
+// in which case a following '-' is a binary operator rather than a sign.
+func (l *cellLexer) prevIsOperand() bool {
+	if len(l.toks) == 0 {
+		return false
+	}
+	switch p := l.toks[len(l.toks)-1]; p.kind {
+	case tIdent, tString, tNumber:
+		return true
+	case tSym:
+		return p.text == ")" || p.text == "}" || p.text == "]" || p.text == "*"
+	}
+	return false
+}
+
+func (l *cellLexer) lexString() error {
+	start := l.pos
+	l.pos++
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == '\'' {
+			l.pos++
+			l.toks = append(l.toks, tok{kind: tString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(l.src[l.pos])
+		l.pos++
+	}
+	return fmt.Errorf("zql: unterminated string at offset %d in %q", start, l.src)
+}
+
+func (l *cellLexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+		// A trailing ".range" style suffix must not be eaten: only consume a
+		// '.' if a digit follows.
+		if l.src[l.pos] == '.' && (l.pos+1 >= len(l.src) || l.src[l.pos+1] < '0' || l.src[l.pos+1] > '9') {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, tok{kind: tNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *cellLexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			break
+		}
+		l.pos += size
+	}
+	l.toks = append(l.toks, tok{kind: tIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *cellLexer) lexSym() error {
+	for _, two := range twoCharSyms {
+		if strings.HasPrefix(l.src[l.pos:], two) {
+			l.toks = append(l.toks, tok{kind: tSym, text: two, pos: l.pos})
+			l.pos += len(two)
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '.', ',', '(', ')', '{', '}', '[', ']', '*', '\\', '|', '&', '=', '<', '>', '+', '-', '/', '^', ':', ';':
+		l.toks = append(l.toks, tok{kind: tSym, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("zql: unexpected character %q at offset %d in %q", c, l.pos, l.src)
+}
+
+// cellParser provides shared token-stream helpers for the column parsers.
+type cellParser struct {
+	cell string
+	toks []tok
+	i    int
+}
+
+func newCellParser(cell string) (*cellParser, error) {
+	toks, err := lexCell(cell)
+	if err != nil {
+		return nil, err
+	}
+	return &cellParser{cell: cell, toks: toks}, nil
+}
+
+func (p *cellParser) peek() tok   { return p.toks[p.i] }
+func (p *cellParser) next() tok   { t := p.toks[p.i]; p.i++; return t }
+func (p *cellParser) atEOF() bool { return p.peek().kind == tEOF }
+
+func (p *cellParser) errorf(format string, args ...any) error {
+	return fmt.Errorf("zql: in cell %q at offset %d: %s", p.cell, p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *cellParser) acceptSym(s string) bool {
+	if t := p.peek(); t.kind == tSym && t.text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *cellParser) expectSym(s string) error {
+	if !p.acceptSym(s) {
+		return p.errorf("expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *cellParser) acceptIdent(name string) bool {
+	if t := p.peek(); t.kind == tIdent && t.text == name {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *cellParser) expectIdentTok() (string, error) {
+	if t := p.peek(); t.kind == tIdent {
+		p.i++
+		return t.text, nil
+	}
+	return "", p.errorf("expected identifier, got %q", p.peek().text)
+}
+
+// peekIsVarDecl reports whether the remaining tokens begin `ident <-` or
+// `ident.ident <-` (a variable declaration).
+func (p *cellParser) peekIsVarDecl() bool {
+	if p.peek().kind != tIdent {
+		return false
+	}
+	j := p.i + 1
+	if p.toks[j].kind == tSym && p.toks[j].text == "." &&
+		p.toks[j+1].kind == tIdent {
+		j += 2
+	}
+	return p.toks[j].kind == tSym && p.toks[j].text == "<-"
+}

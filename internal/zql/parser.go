@@ -1,0 +1,982 @@
+package zql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses the textual rendering of a ZQL table. The first non-comment
+// line is the header naming the columns; subsequent lines are rows. Lines
+// beginning with # or -- are comments.
+func Parse(src string) (*Query, error) {
+	lines := strings.Split(src, "\n")
+	var header []string
+	q := &Query{}
+	for lineNo, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "--") {
+			continue
+		}
+		cells := splitCells(line)
+		if header == nil {
+			header = make([]string, len(cells))
+			for i, c := range cells {
+				header[i] = strings.ToUpper(strings.TrimSpace(c))
+				if !validColumn(header[i]) {
+					return nil, fmt.Errorf("zql: line %d: unknown column %q", lineNo+1, c)
+				}
+			}
+			continue
+		}
+		if len(cells) > len(header) {
+			return nil, fmt.Errorf("zql: line %d: %d cells but %d header columns", lineNo+1, len(cells), len(header))
+		}
+		row := &Row{Line: lineNo + 1}
+		for i, cell := range cells {
+			cell = strings.TrimSpace(cell)
+			if err := parseCellInto(row, header[i], cell); err != nil {
+				return nil, fmt.Errorf("zql: line %d, column %s: %w", lineNo+1, header[i], err)
+			}
+		}
+		q.Rows = append(q.Rows, row)
+	}
+	if len(q.Rows) == 0 {
+		return nil, fmt.Errorf("zql: query has no rows")
+	}
+	if err := validate(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// splitCells splits a row on '|' separators that are not inside quotes.
+// (The '|' set-union operator only occurs inside parentheses in practice, but
+// quotes are the robust guard for attribute values containing '|'.)
+func splitCells(line string) []string {
+	var cells []string
+	var sb strings.Builder
+	inQuote := false
+	depth := 0
+	for _, r := range line {
+		switch {
+		case r == '\'':
+			inQuote = !inQuote
+			sb.WriteRune(r)
+		case r == '(' || r == '{' || r == '[':
+			if !inQuote {
+				depth++
+			}
+			sb.WriteRune(r)
+		case r == ')' || r == '}' || r == ']':
+			if !inQuote {
+				depth--
+			}
+			sb.WriteRune(r)
+		case r == '|' && !inQuote && depth == 0:
+			cells = append(cells, sb.String())
+			sb.Reset()
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	cells = append(cells, sb.String())
+	return cells
+}
+
+func validColumn(name string) bool {
+	switch name {
+	case "NAME", "X", "Y", "CONSTRAINTS", "VIZ", "PROCESS", "Z":
+		return true
+	}
+	if strings.HasPrefix(name, "Z") {
+		if _, err := strconv.Atoi(name[1:]); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func parseCellInto(row *Row, column, cell string) error {
+	switch column {
+	case "NAME":
+		ns, err := parseNameCell(cell)
+		if err != nil {
+			return err
+		}
+		row.Name = ns
+		return nil
+	case "X":
+		ax, err := parseAxisCell(cell)
+		if err != nil {
+			return err
+		}
+		row.X = ax
+		return nil
+	case "Y":
+		ax, err := parseAxisCell(cell)
+		if err != nil {
+			return err
+		}
+		row.Y = ax
+		return nil
+	case "CONSTRAINTS":
+		row.Constraints = cell
+		return nil
+	case "VIZ":
+		vz, err := parseVizCell(cell)
+		if err != nil {
+			return err
+		}
+		row.Viz = vz
+		return nil
+	case "PROCESS":
+		ps, err := parseProcessCell(cell)
+		if err != nil {
+			return err
+		}
+		row.Process = ps
+		return nil
+	default: // Z, Z2, Z3...
+		zs, err := parseZCell(cell)
+		if err != nil {
+			return err
+		}
+		row.Z = append(row.Z, zs)
+		return nil
+	}
+}
+
+// --------------------------------------------------------------- name ----
+
+func parseNameCell(cell string) (NameSpec, error) {
+	var ns NameSpec
+	if cell == "" {
+		return ns, nil
+	}
+	p, err := newCellParser(cell)
+	if err != nil {
+		return ns, err
+	}
+	if p.acceptSym("*") {
+		ns.Output = true
+	} else if p.acceptSym("-") {
+		ns.UserInput = true
+	}
+	name, err := p.expectIdentTok()
+	if err != nil {
+		return ns, err
+	}
+	ns.Var = name
+	if p.atEOF() {
+		return ns, nil
+	}
+	if err := p.expectSym("="); err != nil {
+		return ns, err
+	}
+	expr, err := parseNameExpr(p)
+	if err != nil {
+		return ns, err
+	}
+	ns.Expr = expr
+	if !p.atEOF() {
+		return ns, p.errorf("trailing input in name cell")
+	}
+	return ns, nil
+}
+
+func parseNameExpr(p *cellParser) (*NameExpr, error) {
+	left, err := p.expectIdentTok()
+	if err != nil {
+		return nil, err
+	}
+	e := &NameExpr{Kind: NameAlias, Left: left, J: -1}
+	switch {
+	case p.acceptSym("+"):
+		e.Kind = NamePlus
+	case p.acceptSym("-"):
+		e.Kind = NameMinus
+	case p.acceptSym("^"):
+		e.Kind = NameIntersect
+	case p.acceptSym("["):
+		t := p.peek()
+		if t.kind != tNumber {
+			return nil, p.errorf("expected index, got %q", t.text)
+		}
+		p.i++
+		i, _ := strconv.Atoi(t.text)
+		e.I = i
+		e.Kind = NameIndex
+		if p.acceptSym(":") {
+			e.Kind = NameSlice
+			t = p.peek()
+			if t.kind == tNumber {
+				p.i++
+				j, _ := strconv.Atoi(t.text)
+				e.J = j
+			}
+		}
+		if err := p.expectSym("]"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.acceptSym("."):
+		word, err := p.expectIdentTok()
+		if err != nil {
+			return nil, err
+		}
+		switch word {
+		case "range":
+			e.Kind = NameRange
+		case "order":
+			e.Kind = NameOrder
+		default:
+			return nil, p.errorf("unknown name operation .%s", word)
+		}
+		return e, nil
+	default:
+		return e, nil // plain alias f2=f1
+	}
+	right, err := p.expectIdentTok()
+	if err != nil {
+		return nil, err
+	}
+	e.Right = right
+	return e, nil
+}
+
+// --------------------------------------------------------------- sets ----
+
+// parseSetExpr parses the shared set grammar:
+//
+//	set  := prim (('|' | '\' | '&') prim)*
+//	prim := base ['.' base]          -- pair when '.' follows
+//	base := '{' lit (',' lit)* '}' | '*' | '(' set ')' | 'lit' | var.range | _
+func parseSetExpr(p *cellParser) (*SetExpr, error) {
+	left, err := parseSetPrim(p)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op SetOp
+		switch {
+		case p.acceptSym("|"):
+			op = SetUnion
+		case p.acceptSym("\\"):
+			op = SetDiff
+		case p.acceptSym("&"):
+			op = SetIntersect
+		default:
+			return left, nil
+		}
+		right, err := parseSetPrim(p)
+		if err != nil {
+			return nil, err
+		}
+		o := op
+		left = &SetExpr{Op: &o, Left: left, Right: right}
+	}
+}
+
+func parseSetPrim(p *cellParser) (*SetExpr, error) {
+	base, err := parseSetBase(p)
+	if err != nil {
+		return nil, err
+	}
+	if base.RangeVar != "" {
+		// v2.range already consumed its dot.
+		return base, nil
+	}
+	if p.acceptSym(".") {
+		val, err := parseSetBase(p)
+		if err != nil {
+			return nil, err
+		}
+		return &SetExpr{Pair: &ZPair{Attr: base, Val: val}}, nil
+	}
+	return base, nil
+}
+
+func parseSetBase(p *cellParser) (*SetExpr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tString:
+		p.i++
+		return &SetExpr{Literals: []string{t.text}}, nil
+	case t.kind == tSym && t.text == "*":
+		p.i++
+		return &SetExpr{Star: true}, nil
+	case t.kind == tSym && t.text == "{":
+		p.i++
+		var lits []string
+		for {
+			lt := p.peek()
+			if lt.kind != tString && lt.kind != tIdent && lt.kind != tNumber {
+				return nil, p.errorf("expected set element, got %q", lt.text)
+			}
+			p.i++
+			lits = append(lits, lt.text)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+		if err := p.expectSym("}"); err != nil {
+			return nil, err
+		}
+		return &SetExpr{Literals: lits}, nil
+	case t.kind == tSym && t.text == "(":
+		p.i++
+		inner, err := parseSetExpr(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case t.kind == tIdent && t.text == "_":
+		p.i++
+		return &SetExpr{Derived: true}, nil
+	case t.kind == tIdent:
+		// Must be var.range.
+		p.i++
+		if !p.acceptSym(".") || !p.acceptIdent("range") {
+			return nil, p.errorf("bare variable %q in a set; did you mean %s.range?", t.text, t.text)
+		}
+		return &SetExpr{RangeVar: t.text}, nil
+	}
+	return nil, p.errorf("expected set expression, got %q", t.text)
+}
+
+// --------------------------------------------------------------- axis ----
+
+func parseAxisCell(cell string) (AxisSpec, error) {
+	var ax AxisSpec
+	if cell == "" {
+		ax.Kind = AxisEmpty
+		return ax, nil
+	}
+	p, err := newCellParser(cell)
+	if err != nil {
+		return ax, err
+	}
+	parts := []AxisPart{}
+	var compOp string // "+", "×" or "" while undecided
+	for {
+		part, err := parseAxisPart(p)
+		if err != nil {
+			return ax, err
+		}
+		parts = append(parts, part)
+		var op string
+		switch {
+		case p.acceptSym("+"):
+			op = "+"
+		case p.acceptSym("×"), p.acceptSym("/"):
+			op = "×"
+		default:
+			op = ""
+		}
+		if op == "" {
+			break
+		}
+		if compOp != "" && compOp != op {
+			return ax, p.errorf("mixed axis composition operators")
+		}
+		compOp = op
+	}
+	if p.acceptSym("->") {
+		ax.Order = true
+	}
+	if !p.atEOF() {
+		return ax, p.errorf("trailing input in axis cell")
+	}
+	if len(parts) == 1 {
+		p0 := parts[0]
+		ax.Kind = p0.Kind
+		ax.Attr, ax.Var, ax.Set = p0.Attr, p0.Var, p0.Set
+		return ax, nil
+	}
+	ax.Parts = parts
+	if compOp == "+" {
+		ax.Kind = AxisSum
+	} else {
+		ax.Kind = AxisCross
+	}
+	return ax, nil
+}
+
+func parseAxisPart(p *cellParser) (AxisPart, error) {
+	var part AxisPart
+	t := p.peek()
+	switch {
+	case t.kind == tString:
+		p.i++
+		part.Kind = AxisLiteral
+		part.Attr = t.text
+		return part, nil
+	case t.kind == tSym && t.text == "(":
+		// '( x1 in {...} )' Polaris-style iteration term.
+		p.i++
+		name, err := p.expectIdentTok()
+		if err != nil {
+			return part, err
+		}
+		if !p.acceptIdent("in") {
+			return part, p.errorf("expected 'in' inside parenthesized axis term")
+		}
+		set, err := parseSetExpr(p)
+		if err != nil {
+			return part, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return part, err
+		}
+		part.Kind = AxisVarDecl
+		part.Var = name
+		part.Set = set
+		return part, nil
+	case t.kind == tIdent:
+		p.i++
+		part.Var = t.text
+		if p.acceptSym("<-") {
+			part.Kind = AxisVarDecl
+			if p.acceptIdent("_") || p.atEOF() {
+				part.Set = nil // bind to derived visual component
+				return part, nil
+			}
+			set, err := parseSetExpr(p)
+			if err != nil {
+				return part, err
+			}
+			part.Set = set
+			return part, nil
+		}
+		part.Kind = AxisVarRef
+		return part, nil
+	}
+	return part, p.errorf("expected axis term, got %q", t.text)
+}
+
+// ------------------------------------------------------------------ z ----
+
+func parseZCell(cell string) (ZSpec, error) {
+	var z ZSpec
+	if cell == "" {
+		z.Kind = ZEmpty
+		return z, nil
+	}
+	p, err := newCellParser(cell)
+	if err != nil {
+		return z, err
+	}
+	// Variable declaration forms.
+	if p.peekIsVarDecl() {
+		v1, _ := p.expectIdentTok()
+		if p.acceptSym(".") {
+			v2, err := p.expectIdentTok()
+			if err != nil {
+				return z, err
+			}
+			if err := p.expectSym("<-"); err != nil {
+				return z, err
+			}
+			set, err := parseSetExpr(p)
+			if err != nil {
+				return z, err
+			}
+			z.Kind = ZPairs
+			z.AttrVar, z.Var, z.Set = v1, v2, set
+			return z, finishZ(p, &z)
+		}
+		if err := p.expectSym("<-"); err != nil {
+			return z, err
+		}
+		set, err := parseSetExpr(p)
+		if err != nil {
+			return z, err
+		}
+		// Classify: 'attr'.<valset> (single-attribute values) vs set expr.
+		if set.Pair != nil && len(set.Pair.Attr.Literals) == 1 && !set.Pair.Attr.Star {
+			z.Kind = ZValues
+			z.Var = v1
+			z.Attr = set.Pair.Attr.Literals[0]
+			z.ValSet = set.Pair.Val
+			return z, finishZ(p, &z)
+		}
+		z.Kind = ZSetExpr
+		z.Var = v1
+		z.Set = set
+		return z, finishZ(p, &z)
+	}
+	t := p.peek()
+	switch {
+	case t.kind == tString:
+		// 'product'.'chair' or 'product'.<set> without a variable.
+		set, err := parseSetExpr(p)
+		if err != nil {
+			return z, err
+		}
+		if set.Pair == nil || len(set.Pair.Attr.Literals) != 1 {
+			return z, p.errorf("fixed Z entry must be 'attr'.'value'")
+		}
+		z.Attr = set.Pair.Attr.Literals[0]
+		if len(set.Pair.Val.Literals) == 1 && !set.Pair.Val.Star {
+			z.Kind = ZFixed
+			z.Value = set.Pair.Val.Literals[0]
+			return z, finishZ(p, &z)
+		}
+		// Anonymous set: treated as values iteration without a variable name.
+		z.Kind = ZValues
+		z.ValSet = set.Pair.Val
+		return z, finishZ(p, &z)
+	case t.kind == tIdent:
+		p.i++
+		z.Kind = ZVarRef
+		z.Var = t.text
+		return z, finishZ(p, &z)
+	}
+	return z, p.errorf("cannot parse Z cell")
+}
+
+func finishZ(p *cellParser, z *ZSpec) error {
+	if p.acceptSym("->") {
+		z.Order = true
+	}
+	if !p.atEOF() {
+		return p.errorf("trailing input in Z cell")
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- viz ----
+
+func parseVizCell(cell string) (VizSpec, error) {
+	var vz VizSpec
+	if cell == "" {
+		vz.Kind = VizEmpty
+		return vz, nil
+	}
+	p, err := newCellParser(cell)
+	if err != nil {
+		return vz, err
+	}
+	if p.peekIsVarDecl() {
+		v, _ := p.expectIdentTok()
+		if err := p.expectSym("<-"); err != nil {
+			return vz, err
+		}
+		vz.Kind = VizVarDecl
+		vz.Var = v
+	} else {
+		vz.Kind = VizSingle
+	}
+	// Visualization types: ident or {ident, ident}.
+	var types []string
+	if p.acceptSym("{") {
+		for {
+			ty, err := p.expectIdentTok()
+			if err != nil {
+				return vz, err
+			}
+			types = append(types, ty)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+		if err := p.expectSym("}"); err != nil {
+			return vz, err
+		}
+	} else {
+		ty, err := p.expectIdentTok()
+		if err != nil {
+			return vz, err
+		}
+		types = append(types, ty)
+	}
+	// Optional summarization: .(...) or .{(...), (...)}.
+	var sums []VizDef
+	if p.acceptSym(".") {
+		if p.acceptSym("{") {
+			for {
+				s, err := parseSummary(p)
+				if err != nil {
+					return vz, err
+				}
+				sums = append(sums, s)
+				if !p.acceptSym(",") {
+					break
+				}
+			}
+			if err := p.expectSym("}"); err != nil {
+				return vz, err
+			}
+		} else {
+			s, err := parseSummary(p)
+			if err != nil {
+				return vz, err
+			}
+			sums = append(sums, s)
+		}
+	}
+	if len(sums) == 0 {
+		sums = []VizDef{{}}
+	}
+	for _, ty := range types {
+		for _, s := range sums {
+			d := s
+			d.Type = ty
+			vz.Defs = append(vz.Defs, d)
+		}
+	}
+	if len(vz.Defs) > 1 && vz.Var == "" {
+		return vz, p.errorf("a Viz set needs an iterating variable")
+	}
+	if !p.atEOF() {
+		return vz, p.errorf("trailing input in Viz cell")
+	}
+	return vz, nil
+}
+
+// parseSummary parses one parenthesized summarization tuple like
+// (x=bin(20), y=agg('sum')).
+func parseSummary(p *cellParser) (VizDef, error) {
+	var d VizDef
+	if err := p.expectSym("("); err != nil {
+		return d, err
+	}
+	for {
+		axis, err := p.expectIdentTok()
+		if err != nil {
+			return d, err
+		}
+		if err := p.expectSym("="); err != nil {
+			return d, err
+		}
+		fn, err := p.expectIdentTok()
+		if err != nil {
+			return d, err
+		}
+		if err := p.expectSym("("); err != nil {
+			return d, err
+		}
+		switch {
+		case axis == "x" && fn == "bin":
+			t := p.peek()
+			if t.kind != tNumber {
+				return d, p.errorf("expected bin width, got %q", t.text)
+			}
+			p.i++
+			w, err := strconv.ParseFloat(t.text, 64)
+			if err != nil || w <= 0 {
+				return d, p.errorf("bad bin width %q", t.text)
+			}
+			d.XBin = w
+		case axis == "y" && fn == "agg":
+			t := p.peek()
+			if t.kind != tString && t.kind != tIdent {
+				return d, p.errorf("expected aggregate name, got %q", t.text)
+			}
+			p.i++
+			d.YAgg = t.text
+		default:
+			return d, p.errorf("unknown summarization %s=%s", axis, fn)
+		}
+		if err := p.expectSym(")"); err != nil {
+			return d, err
+		}
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+// ------------------------------------------------------------- process ----
+
+func parseProcessCell(cell string) ([]ProcessDecl, error) {
+	if cell == "" {
+		return nil, nil
+	}
+	p, err := newCellParser(cell)
+	if err != nil {
+		return nil, err
+	}
+	var decls []ProcessDecl
+	for {
+		wrapped := p.acceptSym("(")
+		d, err := parseProcessDecl(p)
+		if err != nil {
+			return nil, err
+		}
+		if wrapped {
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+		}
+		decls = append(decls, d)
+		if !p.acceptSym(",") && !p.acceptSym(";") {
+			break
+		}
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("trailing input in Process cell")
+	}
+	return decls, nil
+}
+
+func parseProcessDecl(p *cellParser) (ProcessDecl, error) {
+	var d ProcessDecl
+	for {
+		v, err := p.expectIdentTok()
+		if err != nil {
+			return d, err
+		}
+		d.OutVars = append(d.OutVars, v)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym("<-"); err != nil {
+		return d, err
+	}
+	mech, err := p.expectIdentTok()
+	if err != nil {
+		return d, err
+	}
+	switch mech {
+	case "argmin":
+		d.Mech = MechArgmin
+	case "argmax":
+		d.Mech = MechArgmax
+	case "argany":
+		d.Mech = MechArgany
+	case "R":
+		d.Mech = MechR
+		return d, parseRCall(p, &d)
+	default:
+		return d, p.errorf("unknown mechanism %q", mech)
+	}
+	if err := p.expectSym("("); err != nil {
+		return d, err
+	}
+	for {
+		v, err := p.expectIdentTok()
+		if err != nil {
+			return d, err
+		}
+		d.LoopVars = append(d.LoopVars, v)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return d, err
+	}
+	if len(d.OutVars) != len(d.LoopVars) {
+		return d, p.errorf("%d output variables for %d loop variables", len(d.OutVars), len(d.LoopVars))
+	}
+	if p.acceptSym("[") {
+		if err := parseFilter(p, &d); err != nil {
+			return d, err
+		}
+	}
+	// Nested inner aggregations, then the objective.
+	for {
+		t := p.peek()
+		if t.kind == tIdent && (t.text == "min" || t.text == "max" || t.text == "sum") {
+			p.i++
+			if err := p.expectSym("("); err != nil {
+				return d, err
+			}
+			ia := InnerAgg{Fn: t.text}
+			for {
+				v, err := p.expectIdentTok()
+				if err != nil {
+					return d, err
+				}
+				ia.Vars = append(ia.Vars, v)
+				if !p.acceptSym(",") {
+					break
+				}
+			}
+			if err := p.expectSym(")"); err != nil {
+				return d, err
+			}
+			d.Inner = append(d.Inner, ia)
+			continue
+		}
+		break
+	}
+	obj, err := parseObjExpr(p)
+	if err != nil {
+		return d, err
+	}
+	d.Expr = obj
+	return d, nil
+}
+
+func parseFilter(p *cellParser, d *ProcessDecl) error {
+	name, err := p.expectIdentTok()
+	if err != nil {
+		return err
+	}
+	switch name {
+	case "k":
+		if err := p.expectSym("="); err != nil {
+			return err
+		}
+		d.Filter = FilterK
+		t := p.peek()
+		if t.kind == tIdent && (t.text == "inf" || t.text == "infinity") {
+			p.i++
+			d.K = -1
+		} else if t.kind == tNumber {
+			p.i++
+			k, err := strconv.Atoi(t.text)
+			if err != nil || k < 0 {
+				return p.errorf("bad k %q", t.text)
+			}
+			d.K = k
+		} else {
+			return p.errorf("expected k value, got %q", t.text)
+		}
+	case "t":
+		d.Filter = FilterT
+		var op string
+		switch {
+		case p.acceptSym(">="):
+			op = ">="
+		case p.acceptSym("<="):
+			op = "<="
+		case p.acceptSym(">"):
+			op = ">"
+		case p.acceptSym("<"):
+			op = "<"
+		default:
+			return p.errorf("expected threshold comparison, got %q", p.peek().text)
+		}
+		d.TOp = op
+		t := p.peek()
+		if t.kind != tNumber {
+			return p.errorf("expected threshold value, got %q", t.text)
+		}
+		p.i++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return p.errorf("bad threshold %q", t.text)
+		}
+		d.TVal = v
+	default:
+		return p.errorf("unknown filter %q (want k or t)", name)
+	}
+	return p.expectSym("]")
+}
+
+func parseRCall(p *cellParser, d *ProcessDecl) error {
+	if err := p.expectSym("("); err != nil {
+		return err
+	}
+	t := p.peek()
+	if t.kind != tNumber {
+		return p.errorf("expected representative count, got %q", t.text)
+	}
+	p.i++
+	k, err := strconv.Atoi(t.text)
+	if err != nil || k <= 0 {
+		return p.errorf("bad representative count %q", t.text)
+	}
+	d.RK = k
+	if err := p.expectSym(","); err != nil {
+		return err
+	}
+	var idents []string
+	for {
+		v, err := p.expectIdentTok()
+		if err != nil {
+			return err
+		}
+		idents = append(idents, v)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return err
+	}
+	if len(idents) < 2 {
+		return p.errorf("R needs at least an axis variable and a name variable")
+	}
+	d.RVars = idents[:len(idents)-1]
+	d.RName = idents[len(idents)-1]
+	if len(d.OutVars) != len(d.RVars) {
+		return p.errorf("%d output variables for %d R variables", len(d.OutVars), len(d.RVars))
+	}
+	return nil
+}
+
+func parseObjExpr(p *cellParser) (*ObjExpr, error) {
+	name, err := p.expectIdentTok()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	var args []string
+	for {
+		a, err := p.expectIdentTok()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	switch name {
+	case "T":
+		if len(args) != 1 {
+			return nil, p.errorf("T takes one name variable")
+		}
+		return &ObjExpr{Kind: ObjT, F1: args[0]}, nil
+	case "D":
+		if len(args) != 2 {
+			return nil, p.errorf("D takes two name variables")
+		}
+		return &ObjExpr{Kind: ObjD, F1: args[0], F2: args[1]}, nil
+	default:
+		return &ObjExpr{Kind: ObjU, User: name, Args: args}, nil
+	}
+}
+
+// validate performs structural checks that span rows: name uniqueness and
+// derived-name references.
+func validate(q *Query) error {
+	names := make(map[string]int)
+	for _, r := range q.Rows {
+		if r.Name.Var != "" {
+			if prev, dup := names[r.Name.Var]; dup {
+				return fmt.Errorf("zql: line %d: name %s already declared on line %d", r.Line, r.Name.Var, prev)
+			}
+			names[r.Name.Var] = r.Line
+		}
+		if e := r.Name.Expr; e != nil {
+			for _, ref := range []string{e.Left, e.Right} {
+				if ref == "" {
+					continue
+				}
+				if _, ok := names[ref]; !ok {
+					return fmt.Errorf("zql: line %d: derived name refers to undeclared %s", r.Line, ref)
+				}
+			}
+		}
+	}
+	return nil
+}
