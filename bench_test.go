@@ -12,6 +12,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/minisql"
 	"repro/internal/study"
 	"repro/internal/vis"
 	"repro/internal/workload"
@@ -289,5 +290,73 @@ func BenchmarkBitmapIndexBuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		engine.NewBitmapStore(tb)
+	}
+}
+
+// batchPlans prepares the 32-query single-table aggregate batch used by the
+// shared-scan benchmarks: one slice aggregation per z value, the shape a
+// batched ZQL request produces.
+func batchPlans(b *testing.B, db engine.DB, tb *dataset.Table, n int) []*engine.Plan {
+	b.Helper()
+	zvals := tb.Column("z").DistinctSorted()
+	if n > len(zvals) {
+		n = len(zvals)
+	}
+	plans := make([]*engine.Plan, n)
+	for i := 0; i < n; i++ {
+		q, err := minisql.Parse(fmt.Sprintf(
+			"SELECT x, SUM(y) AS s FROM sweep WHERE z = '%s' GROUP BY x ORDER BY x", zvals[i].String()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := db.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plans[i] = p
+	}
+	return plans
+}
+
+// BenchmarkBatchVsSequential measures the shared-scan win of ExecuteBatch:
+// the same 32-query aggregate batch run as a sequential Execute loop versus
+// one ExecuteBatch request, on both back-ends.
+func BenchmarkBatchVsSequential(b *testing.B) {
+	tb := workload.GroupSweep(100000, 64, 10, 11)
+	for _, db := range []engine.DB{engine.NewRowStore(tb), engine.NewBitmapStore(tb)} {
+		plans := batchPlans(b, db, tb, 32)
+		b.Run(db.Name()+"/Sequential", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, p := range plans {
+					if _, err := p.Execute(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(db.Name()+"/ExecuteBatch", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.ExecuteBatch(plans); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPrepareOverhead isolates plan preparation (validation, column
+// binding, predicate compilation) from execution.
+func BenchmarkPrepareOverhead(b *testing.B) {
+	tb := sales()
+	db := engine.NewRowStore(tb)
+	q, err := minisql.Parse("SELECT year, SUM(revenue) AS s FROM sales WHERE country = 'US' GROUP BY year ORDER BY year")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Prepare(q); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -106,6 +106,9 @@ func TestHistoryRecordsSuccessAndFailure(t *testing.T) {
 	if h[0].Err != "" || h[0].Outputs != 1 || h[0].Stats.SQLQueries == 0 {
 		t.Errorf("success entry = %+v", h[0])
 	}
+	if h[0].Stats.RowsScanned == 0 {
+		t.Errorf("history should record rows scanned, got %+v", h[0].Stats)
+	}
 	if h[1].Err == "" {
 		t.Errorf("failure entry = %+v", h[1])
 	}

@@ -130,8 +130,8 @@ func main() {
 		}
 	}
 	if *showStats {
-		fmt.Printf("\nstats: %d SQL queries in %d requests; query time %v, process time %v\n",
-			res.Stats.SQLQueries, res.Stats.Requests, res.Stats.QueryTime, res.Stats.ProcessTime)
+		fmt.Printf("\nstats: %d SQL queries in %d requests; %d rows scanned; query time %v, process time %v\n",
+			res.Stats.SQLQueries, res.Stats.Requests, res.Stats.RowsScanned, res.Stats.QueryTime, res.Stats.ProcessTime)
 	}
 }
 

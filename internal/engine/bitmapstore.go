@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/minisql"
@@ -21,6 +22,7 @@ import (
 // bitmaps inside the range — the "multiple range based filters" extension
 // named in the paper's future work (Section 10.1).
 type BitmapStore struct {
+	parLimit
 	tables     map[string]*dataset.Table
 	indexes    map[string]tableIndex
 	intIndexes map[string]map[string]*intIndex
@@ -259,76 +261,160 @@ func planIntCompare(ii *intIndex, x *minisql.Compare, total int) *roaring.Bitmap
 	return nil
 }
 
+// Prepare validates and column-resolves a parsed query into a reusable plan.
+func (s *BitmapStore) Prepare(q *minisql.Query) (*Plan, error) {
+	return newPlan(s, s.tables[q.From], q)
+}
+
 // Execute runs a parsed query. Fully indexable predicates iterate only the
 // bitmap; partially indexable conjunctions intersect the indexable legs and
 // post-filter the rest; everything else falls back to a scan.
 func (s *BitmapStore) Execute(q *minisql.Query) (*Result, error) {
-	t := s.tables[q.From]
-	if t == nil {
-		return nil, fmt.Errorf("engine: no table %q", q.From)
-	}
-	ix := s.indexes[q.From]
-	s.stats.queries.Add(1)
-	total := t.NumRows()
-
-	if q.Where == nil {
-		s.stats.rowsScanned.Add(int64(total))
-		return runQuery(t, q, func(yield func(int)) {
-			for i := 0; i < total; i++ {
-				yield(i)
-			}
-		})
-	}
-
-	if bm, ok := s.planBitmap(t, ix, q.Where, total); ok {
-		s.stats.rowsScanned.Add(int64(bm.Cardinality()))
-		return runQuery(t, q, func(yield func(int)) {
-			bm.Iterate(func(v uint32) { yield(int(v)) })
-		})
-	}
-
-	// Partial plan: split a top-level AND into indexable and residual legs.
-	if and, isAnd := q.Where.(*minisql.And); isAnd {
-		indexable := roaring.FromRange(0, uint32(total))
-		var residual []minisql.Expr
-		anyIndexed := false
-		for _, a := range and.Args {
-			if b, ok := s.planBitmap(t, ix, a, total); ok {
-				indexable = indexable.And(b)
-				anyIndexed = true
-			} else {
-				residual = append(residual, a)
-			}
-		}
-		if anyIndexed {
-			pred, err := compilePredicate(t, &minisql.And{Args: residual})
-			if err != nil {
-				return nil, err
-			}
-			s.stats.rowsScanned.Add(int64(indexable.Cardinality()))
-			return runQuery(t, q, func(yield func(int)) {
-				indexable.Iterate(func(v uint32) {
-					if pred(int(v)) {
-						yield(int(v))
-					}
-				})
-			})
-		}
-	}
-
-	// Fallback: full scan, same as RowStore.
-	pred, err := compilePredicate(t, q.Where)
+	p, err := s.Prepare(q)
 	if err != nil {
 		return nil, err
 	}
-	s.stats.rowsScanned.Add(int64(total))
-	return runQuery(t, q, func(yield func(int)) {
-		for i := 0; i < total; i++ {
-			if pred(i) {
+	return p.Execute()
+}
+
+// runPlan executes one prepared plan without cross-plan sharing.
+func (s *BitmapStore) runPlan(p *Plan) (*Result, error) {
+	iter, scanned, err := s.planAccess(p, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.queries.Add(1)
+	s.stats.rowsScanned.Add(scanned)
+	return p.run(iter)
+}
+
+// bitmapCache memoizes conjunct bitmaps within one batch, keyed by table and
+// canonical predicate SQL, so that plans sharing predicate conjuncts (the
+// common case for a request batch sliced from one ZQL row) compute each
+// shared bitmap intersection exactly once. Entries with ok=false record that
+// the index cannot answer the conjunct.
+type bitmapCache map[string]cachedBitmap
+
+type cachedBitmap struct {
+	bm *roaring.Bitmap
+	ok bool
+}
+
+// cachedBitmap answers a predicate from the index through the batch cache.
+func (s *BitmapStore) cachedBitmap(cache bitmapCache, t *dataset.Table, ix tableIndex, e minisql.Expr, total int) (*roaring.Bitmap, bool) {
+	if cache == nil {
+		return s.planBitmap(t, ix, e, total)
+	}
+	key := t.Name + "\x00" + e.SQL()
+	if c, hit := cache[key]; hit {
+		return c.bm, c.ok
+	}
+	bm, ok := s.planBitmap(t, ix, e, total)
+	cache[key] = cachedBitmap{bm: bm, ok: ok}
+	return bm, ok
+}
+
+// planAccess produces the matching-row iterator for a plan and the number of
+// rows the drain will visit. The WHERE clause is split into top-level
+// conjuncts; each conjunct is answered from the index (through the batch
+// cache when given) or deferred to a compiled residual predicate evaluated
+// inside the candidate set. With no indexable conjunct the plan falls back
+// to a full scan, same as RowStore.
+func (s *BitmapStore) planAccess(p *Plan, cache bitmapCache) (rowIter, int64, error) {
+	t, q := p.t, p.q
+	ix := s.indexes[t.Name]
+	total := t.NumRows()
+
+	if q.Where == nil {
+		return func(yield func(int)) {
+			for i := 0; i < total; i++ {
 				yield(i)
 			}
+		}, int64(total), nil
+	}
+
+	conjuncts := []minisql.Expr{q.Where}
+	if and, isAnd := q.Where.(*minisql.And); isAnd {
+		conjuncts = and.Args
+	}
+	var parts []*roaring.Bitmap
+	var residual []minisql.Expr
+	for _, c := range conjuncts {
+		if b, ok := s.cachedBitmap(cache, t, ix, c, total); ok {
+			parts = append(parts, b)
+		} else {
+			residual = append(residual, c)
 		}
-	})
+	}
+
+	if len(parts) == 0 {
+		// Fallback: full scan with the plan's compiled predicate.
+		return func(yield func(int)) {
+			for i := 0; i < total; i++ {
+				if p.pred(i) {
+					yield(i)
+				}
+			}
+		}, int64(total), nil
+	}
+
+	bm := roaring.AndAll(parts...)
+	if len(residual) == 0 {
+		return func(yield func(int)) {
+			bm.Iterate(func(v uint32) { yield(int(v)) })
+		}, int64(bm.Cardinality()), nil
+	}
+	pred, err := compilePredicate(t, &minisql.And{Args: residual})
+	if err != nil {
+		return nil, 0, err
+	}
+	return func(yield func(int)) {
+		bm.Iterate(func(v uint32) {
+			if pred(int(v)) {
+				yield(int(v))
+			}
+		})
+	}, int64(bm.Cardinality()), nil
+}
+
+// ExecuteBatch runs the plans as one request. Bitmap planning for the whole
+// batch happens first, serially, through a shared conjunct cache — predicate
+// legs common across plans (constraints repeated on every query of a request
+// batch, shared slice attributes) hit the index once. The surviving per-plan
+// drains then run concurrently, bounded by Parallelism.
+func (s *BitmapStore) ExecuteBatch(plans []*Plan) ([]*Result, error) {
+	if err := checkBatch(s, plans); err != nil {
+		return nil, err
+	}
+	cache := make(bitmapCache)
+	iters := make([]rowIter, len(plans))
+	for i, p := range plans {
+		iter, scanned, err := s.planAccess(p, cache)
+		if err != nil {
+			return nil, fmt.Errorf("engine: batch plan %q: %w", p.SQL(), err)
+		}
+		iters[i] = iter
+		s.stats.queries.Add(1)
+		s.stats.rowsScanned.Add(scanned)
+	}
+	results := make([]*Result, len(plans))
+	errs := make([]error, len(plans))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.parallelism())
+	for i, p := range plans {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, p *Plan) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = p.run(iters[i])
+		}(i, p)
+	}
+	wg.Wait()
+	if err := firstError(plans, errs); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // ExecuteSQL parses and runs SQL text.

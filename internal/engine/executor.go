@@ -1,9 +1,9 @@
 package engine
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync/atomic"
 
@@ -33,12 +33,45 @@ type DB interface {
 	Name() string
 	// Table returns the named base table, or nil.
 	Table(name string) *dataset.Table
-	// Execute runs a parsed query.
+	// Prepare validates and column-resolves a parsed query into a reusable
+	// plan bound to this back-end.
+	Prepare(q *minisql.Query) (*Plan, error)
+	// Execute runs a parsed query (Prepare + Plan.Execute).
 	Execute(q *minisql.Query) (*Result, error)
 	// ExecuteSQL parses and runs SQL text.
 	ExecuteSQL(sql string) (*Result, error)
+	// ExecuteBatch runs a batch of prepared plans as one request, sharing
+	// work across plans over the same table: the row store serves every plan
+	// in the batch from shared scans, the bitmap store computes common
+	// predicate conjunct bitmaps once. Results align with plans.
+	ExecuteBatch(plans []*Plan) ([]*Result, error)
 	// Counters returns cumulative execution statistics.
 	Counters() Counters
+}
+
+// Parallel is implemented by back-ends whose ExecuteBatch drains plans
+// concurrently; n bounds the worker count (n <= 0 restores the default,
+// GOMAXPROCS).
+type Parallel interface {
+	SetParallelism(n int)
+}
+
+// parLimit is the store-level worker bound both back-ends embed. The bound
+// applies to every batch the store executes; concurrent callers see the
+// last value written.
+type parLimit struct {
+	par atomic.Int32
+}
+
+// SetParallelism bounds the concurrent workers ExecuteBatch uses; n <= 0
+// restores the default (GOMAXPROCS).
+func (p *parLimit) SetParallelism(n int) { p.par.Store(int32(n)) }
+
+func (p *parLimit) parallelism() int {
+	if n := p.par.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Counters accumulates execution statistics across queries.
@@ -59,42 +92,6 @@ func (c *counters) snapshot() Counters {
 // rowIter produces the matching row indices in ascending order.
 type rowIter func(yield func(i int))
 
-// runQuery executes the projection / aggregation / ordering pipeline over
-// the matching rows. The two back-ends differ only in how iter is produced.
-func runQuery(t *dataset.Table, q *minisql.Query, iter rowIter) (*Result, error) {
-	cols := make([]string, len(q.Select))
-	hasAgg := false
-	for i, s := range q.Select {
-		cols[i] = s.OutName()
-		if s.Agg != minisql.AggNone {
-			hasAgg = true
-		}
-		if s.Col != "*" && !t.HasColumn(s.Col) {
-			return nil, fmt.Errorf("engine: table %q has no column %q", t.Name, s.Col)
-		}
-	}
-	for _, g := range q.GroupBy {
-		if !t.HasColumn(g.Col) {
-			return nil, fmt.Errorf("engine: table %q has no column %q", t.Name, g.Col)
-		}
-	}
-	res := &Result{Cols: cols}
-	if hasAgg || len(q.GroupBy) > 0 {
-		if err := runAggregate(t, q, iter, res); err != nil {
-			return nil, err
-		}
-	} else {
-		runProject(t, q, iter, res)
-	}
-	if err := orderResult(res, q.OrderBy); err != nil {
-		return nil, err
-	}
-	if q.Limit >= 0 && len(res.Rows) > q.Limit {
-		res.Rows = res.Rows[:q.Limit]
-	}
-	return res, nil
-}
-
 func binValue(v float64, width float64) float64 {
 	return math.Floor(v/width) * width
 }
@@ -105,20 +102,6 @@ func cellValue(c *dataset.Column, bin float64, i int) dataset.Value {
 		return dataset.FV(binValue(c.Float(i), bin))
 	}
 	return c.Value(i)
-}
-
-func runProject(t *dataset.Table, q *minisql.Query, iter rowIter, res *Result) {
-	colRefs := make([]*dataset.Column, len(q.Select))
-	for j, s := range q.Select {
-		colRefs[j] = t.Column(s.Col)
-	}
-	iter(func(i int) {
-		row := make(dataset.Row, len(q.Select))
-		for j, s := range q.Select {
-			row[j] = cellValue(colRefs[j], s.Bin, i)
-		}
-		res.Rows = append(res.Rows, row)
-	})
 }
 
 // aggState accumulates one aggregate over one group.
@@ -144,20 +127,31 @@ func (a *aggState) add(v float64) {
 	a.count++
 }
 
+// value emits the aggregate. Over an empty match set COUNT is 0 and every
+// other aggregate is NULL (SQL semantics).
 func (a *aggState) value(f minisql.AggFunc) dataset.Value {
 	switch f {
 	case minisql.AggSum:
+		if a.count == 0 {
+			return dataset.NullValue
+		}
 		return dataset.FV(a.sum)
 	case minisql.AggCount:
 		return dataset.IV(a.count)
 	case minisql.AggAvg:
 		if a.count == 0 {
-			return dataset.FV(0)
+			return dataset.NullValue
 		}
 		return dataset.FV(a.sum / float64(a.count))
 	case minisql.AggMin:
+		if a.count == 0 {
+			return dataset.NullValue
+		}
 		return dataset.FV(a.min)
 	case minisql.AggMax:
+		if a.count == 0 {
+			return dataset.NullValue
+		}
 		return dataset.FV(a.max)
 	}
 	return dataset.Value{}
@@ -167,106 +161,6 @@ type group struct {
 	keyVals  []dataset.Value
 	aggs     []aggState
 	firstRow int
-	order    int
-}
-
-func runAggregate(t *dataset.Table, q *minisql.Query, iter rowIter, res *Result) error {
-	// Resolve group key columns.
-	keyCols := make([]*dataset.Column, len(q.GroupBy))
-	for i, g := range q.GroupBy {
-		keyCols[i] = t.Column(g.Col)
-	}
-	// Resolve aggregate inputs (nil for COUNT(*)).
-	var aggItems []int // indices into q.Select that are aggregates
-	aggCols := make([]*dataset.Column, 0, len(q.Select))
-	for j, s := range q.Select {
-		if s.Agg == minisql.AggNone {
-			continue
-		}
-		aggItems = append(aggItems, j)
-		if s.Col == "*" {
-			aggCols = append(aggCols, nil)
-		} else {
-			aggCols = append(aggCols, t.Column(s.Col))
-		}
-	}
-	groups := make(map[string]*group)
-	var groupList []*group
-	keyBuf := make([]byte, 0, 64)
-	iter(func(i int) {
-		keyBuf = keyBuf[:0]
-		for k, c := range keyCols {
-			if c.Field.Kind == dataset.KindString && q.GroupBy[k].Bin == 0 {
-				keyBuf = binary.AppendVarint(keyBuf, int64(c.Code(i)))
-			} else {
-				v := c.Float(i)
-				if q.GroupBy[k].Bin > 0 {
-					v = binValue(v, q.GroupBy[k].Bin)
-				}
-				keyBuf = binary.LittleEndian.AppendUint64(keyBuf, math.Float64bits(v))
-			}
-			keyBuf = append(keyBuf, 0xff)
-		}
-		g, ok := groups[string(keyBuf)]
-		if !ok {
-			g = &group{
-				keyVals:  make([]dataset.Value, len(keyCols)),
-				aggs:     make([]aggState, len(aggItems)),
-				firstRow: i,
-				order:    len(groupList),
-			}
-			for k, c := range keyCols {
-				g.keyVals[k] = cellValue(c, q.GroupBy[k].Bin, i)
-			}
-			groups[string(keyBuf)] = g
-			groupList = append(groupList, g)
-		}
-		for a, c := range aggCols {
-			if c == nil {
-				g.aggs[a].add(0) // COUNT(*): only count matters
-			} else {
-				g.aggs[a].add(c.Float(i))
-			}
-		}
-	})
-	// An aggregate with no GROUP BY always yields exactly one row, even over
-	// an empty match set (SQL semantics).
-	if len(q.GroupBy) == 0 && len(groupList) == 0 {
-		groupList = append(groupList, &group{aggs: make([]aggState, len(aggItems)), firstRow: -1})
-	}
-	// Emit one output row per group in first-seen order; orderResult sorts.
-	groupKeyIx := func(col string, bin float64) int {
-		for k, g := range q.GroupBy {
-			if g.Col == col && g.Bin == bin {
-				return k
-			}
-		}
-		return -1
-	}
-	for _, g := range groupList {
-		row := make(dataset.Row, len(q.Select))
-		ai := 0
-		for j, s := range q.Select {
-			if s.Agg != minisql.AggNone {
-				row[j] = g.aggs[ai].value(s.Agg)
-				ai++
-				continue
-			}
-			if k := groupKeyIx(s.Col, s.Bin); k >= 0 {
-				row[j] = g.keyVals[k]
-				continue
-			}
-			// Non-grouped plain column: representative value from the
-			// group's first row (the query author asserts dependence).
-			if g.firstRow < 0 {
-				row[j] = dataset.NullValue
-			} else {
-				row[j] = cellValue(t.Column(s.Col), s.Bin, g.firstRow)
-			}
-		}
-		res.Rows = append(res.Rows, row)
-	}
-	return nil
 }
 
 func orderResult(res *Result, order []minisql.OrderItem) error {

@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/minisql"
+)
+
+// Plan is a validated, column-resolved logical plan for one query: the table
+// is looked up, every select / group / order item is bound against the
+// schema, and the WHERE predicate is compiled to a row closure — all exactly
+// once, at Prepare time. A Plan is immutable after Prepare and may be
+// executed any number of times, alone (Execute) or as part of a batch
+// (DB.ExecuteBatch), where the back-end shares work across the plans.
+type Plan struct {
+	db DB
+	q  *minisql.Query
+	t  *dataset.Table
+
+	pred   rowPredicate      // compiled WHERE; always-true when q.Where is nil
+	cols   []string          // output column names
+	hasAgg bool              // any aggregate select item
+	selCol []*dataset.Column // per select item; nil for COUNT(*)
+	keyCol []*dataset.Column // per GROUP BY key
+	aggSel []int             // select positions that are aggregates
+	aggCol []*dataset.Column // parallel to aggSel; nil for COUNT(*)
+	// keyOf maps each select position to its GROUP BY key index, or -1 when
+	// the item is an aggregate or a non-grouped plain column.
+	keyOf []int
+}
+
+// newPlan binds q against t, validating every column reference.
+func newPlan(db DB, t *dataset.Table, q *minisql.Query) (*Plan, error) {
+	if t == nil {
+		return nil, fmt.Errorf("engine: no table %q", q.From)
+	}
+	p := &Plan{db: db, q: q, t: t}
+	p.cols = make([]string, len(q.Select))
+	p.selCol = make([]*dataset.Column, len(q.Select))
+	p.keyOf = make([]int, len(q.Select))
+	for i, s := range q.Select {
+		p.cols[i] = s.OutName()
+		if s.Agg != minisql.AggNone {
+			p.hasAgg = true
+		}
+		if s.Col == "*" {
+			if s.Agg != minisql.AggCount {
+				return nil, fmt.Errorf("engine: '*' is only valid inside COUNT")
+			}
+		} else {
+			c := t.Column(s.Col)
+			if c == nil {
+				return nil, fmt.Errorf("engine: table %q has no column %q", t.Name, s.Col)
+			}
+			p.selCol[i] = c
+		}
+		p.keyOf[i] = -1
+		if s.Agg != minisql.AggNone {
+			p.aggSel = append(p.aggSel, i)
+			p.aggCol = append(p.aggCol, p.selCol[i])
+		}
+	}
+	p.keyCol = make([]*dataset.Column, len(q.GroupBy))
+	for k, g := range q.GroupBy {
+		c := t.Column(g.Col)
+		if c == nil {
+			return nil, fmt.Errorf("engine: table %q has no column %q", t.Name, g.Col)
+		}
+		p.keyCol[k] = c
+	}
+	for i, s := range q.Select {
+		if s.Agg != minisql.AggNone {
+			continue
+		}
+		for k, g := range q.GroupBy {
+			if g.Col == s.Col && g.Bin == s.Bin {
+				p.keyOf[i] = k
+				break
+			}
+		}
+	}
+	for _, o := range q.OrderBy {
+		found := false
+		for _, c := range p.cols {
+			if c == o.Col {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("engine: ORDER BY column %q is not in the select list", o.Col)
+		}
+	}
+	pred, err := compilePredicate(t, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	p.pred = pred
+	return p, nil
+}
+
+// Table returns the base table the plan reads.
+func (p *Plan) Table() *dataset.Table { return p.t }
+
+// Query returns the logical query the plan was prepared from.
+func (p *Plan) Query() *minisql.Query { return p.q }
+
+// SQL renders the plan's query as canonical SQL text.
+func (p *Plan) SQL() string { return p.q.SQL() }
+
+// planRunner is the store-side single-plan entry point; both back-ends
+// implement it.
+type planRunner interface {
+	runPlan(p *Plan) (*Result, error)
+}
+
+// Execute runs the plan against the back-end that prepared it.
+func (p *Plan) Execute() (*Result, error) {
+	if r, ok := p.db.(planRunner); ok {
+		return r.runPlan(p)
+	}
+	results, err := p.db.ExecuteBatch([]*Plan{p})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// run drains the matching-row iterator through a fresh sink. It is the
+// single-plan execution path shared by both back-ends.
+func (p *Plan) run(iter rowIter) (*Result, error) {
+	sink := p.newSink()
+	iter(func(i int) { sink.add(i) })
+	return sink.finish()
+}
+
+// planSink accumulates one plan's output incrementally: matching rows are
+// pushed in (add) and the result relation is emitted at the end (finish).
+// The push interface is what lets a batch executor feed many plans from one
+// shared scan.
+type planSink struct {
+	p *Plan
+	// Projection mode.
+	rows []dataset.Row
+	// Aggregation mode.
+	groups    map[string]*group
+	groupList []*group
+	keyBuf    []byte
+}
+
+// newSink creates a fresh accumulator for one execution of the plan.
+func (p *Plan) newSink() *planSink {
+	s := &planSink{p: p}
+	if p.hasAgg || len(p.q.GroupBy) > 0 {
+		s.groups = make(map[string]*group)
+		s.keyBuf = make([]byte, 0, 64)
+	}
+	return s
+}
+
+// add feeds one matching row index into the sink.
+func (s *planSink) add(i int) {
+	p := s.p
+	if s.groups == nil {
+		row := make(dataset.Row, len(p.q.Select))
+		for j, sel := range p.q.Select {
+			row[j] = cellValue(p.selCol[j], sel.Bin, i)
+		}
+		s.rows = append(s.rows, row)
+		return
+	}
+	s.keyBuf = s.keyBuf[:0]
+	for k, c := range p.keyCol {
+		if c.Field.Kind == dataset.KindString && p.q.GroupBy[k].Bin == 0 {
+			s.keyBuf = binary.AppendVarint(s.keyBuf, int64(c.Code(i)))
+		} else {
+			v := c.Float(i)
+			if p.q.GroupBy[k].Bin > 0 {
+				v = binValue(v, p.q.GroupBy[k].Bin)
+			}
+			s.keyBuf = binary.LittleEndian.AppendUint64(s.keyBuf, math.Float64bits(v))
+		}
+		s.keyBuf = append(s.keyBuf, 0xff)
+	}
+	g, ok := s.groups[string(s.keyBuf)]
+	if !ok {
+		g = &group{
+			keyVals:  make([]dataset.Value, len(p.keyCol)),
+			aggs:     make([]aggState, len(p.aggSel)),
+			firstRow: i,
+		}
+		for k, c := range p.keyCol {
+			g.keyVals[k] = cellValue(c, p.q.GroupBy[k].Bin, i)
+		}
+		s.groups[string(s.keyBuf)] = g
+		s.groupList = append(s.groupList, g)
+	}
+	for a, c := range p.aggCol {
+		if c == nil {
+			g.aggs[a].add(0) // COUNT(*): only count matters
+		} else {
+			g.aggs[a].add(c.Float(i))
+		}
+	}
+}
+
+// finish emits the result relation: group rows (or projected rows), ordering,
+// and LIMIT.
+func (s *planSink) finish() (*Result, error) {
+	p := s.p
+	res := &Result{Cols: p.cols}
+	if s.groups == nil {
+		res.Rows = s.rows
+	} else {
+		// An aggregate with no GROUP BY always yields exactly one row, even
+		// over an empty match set (SQL semantics).
+		if len(p.q.GroupBy) == 0 && len(s.groupList) == 0 {
+			s.groupList = append(s.groupList, &group{aggs: make([]aggState, len(p.aggSel)), firstRow: -1})
+		}
+		// One output row per group in first-seen order; orderResult sorts.
+		for _, g := range s.groupList {
+			row := make(dataset.Row, len(p.q.Select))
+			ai := 0
+			for j, sel := range p.q.Select {
+				if sel.Agg != minisql.AggNone {
+					row[j] = g.aggs[ai].value(sel.Agg)
+					ai++
+					continue
+				}
+				if k := p.keyOf[j]; k >= 0 {
+					row[j] = g.keyVals[k]
+					continue
+				}
+				// Non-grouped plain column: representative value from the
+				// group's first row (the query author asserts dependence).
+				if g.firstRow < 0 {
+					row[j] = dataset.NullValue
+				} else {
+					row[j] = cellValue(p.selCol[j], sel.Bin, g.firstRow)
+				}
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	if err := orderResult(res, p.q.OrderBy); err != nil {
+		return nil, err
+	}
+	if p.q.Limit >= 0 && len(res.Rows) > p.q.Limit {
+		res.Rows = res.Rows[:p.q.Limit]
+	}
+	return res, nil
+}
+
+// groupPlansByTable partitions batch plan indices by base table, preserving
+// first-seen order.
+type planGroup struct {
+	t   *dataset.Table
+	idx []int
+}
+
+func groupPlansByTable(plans []*Plan) []*planGroup {
+	byTable := make(map[*dataset.Table]*planGroup)
+	var out []*planGroup
+	for i, p := range plans {
+		g, ok := byTable[p.t]
+		if !ok {
+			g = &planGroup{t: p.t}
+			byTable[p.t] = g
+			out = append(out, g)
+		}
+		g.idx = append(g.idx, i)
+	}
+	return out
+}
+
+// shardIndices deals the indices round-robin into at most par shards, so a
+// batch executor can bound its concurrency while heterogeneous plans stay
+// balanced.
+func shardIndices(idx []int, par int) [][]int {
+	if par < 1 {
+		par = 1
+	}
+	if par > len(idx) {
+		par = len(idx)
+	}
+	shards := make([][]int, par)
+	for k, i := range idx {
+		shards[k%par] = append(shards[k%par], i)
+	}
+	return shards
+}
+
+// checkBatch validates that every plan in a batch was prepared by db.
+func checkBatch(db DB, plans []*Plan) error {
+	for i, p := range plans {
+		if p == nil {
+			return fmt.Errorf("engine: batch plan %d is nil", i)
+		}
+		if p.db != db {
+			return fmt.Errorf("engine: batch plan %d was prepared by a different back-end", i)
+		}
+	}
+	return nil
+}
+
+// firstError returns the first non-nil error, annotated with its plan's SQL.
+func firstError(plans []*Plan, errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("engine: batch plan %q: %w", plans[i].SQL(), err)
+		}
+	}
+	return nil
+}

@@ -201,3 +201,32 @@ func TestExprSQLQuoting(t *testing.T) {
 		t.Errorf("quote escaping broken: %s", e.SQL())
 	}
 }
+
+func TestParseExpr(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // canonical re-rendering
+	}{
+		{"country='US'", "country = 'US'"},
+		{"a = 1 AND b != 2", "a = 1 AND b != 2"},
+		{"a = 1 OR b = 2 AND c = 3", "a = 1 OR (b = 2 AND c = 3)"},
+		{"product IN ('chair', 'desk')", "product IN ('chair', 'desk')"},
+		{"year BETWEEN 2010 AND 2012", "year BETWEEN 2010 AND 2012"},
+		{"NOT (p = 'yes')", "NOT (p = 'yes')"},
+		{"zip LIKE '02%'", "zip LIKE '02%'"},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", c.src, err)
+		}
+		if got := e.SQL(); got != c.want {
+			t.Errorf("ParseExpr(%q).SQL() = %q, want %q", c.src, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "a =", "a = 1 extra", "SELECT x"} {
+		if _, err := ParseExpr(bad); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", bad)
+		}
+	}
+}

@@ -24,6 +24,25 @@ func Parse(src string) (*Query, error) {
 	return q, nil
 }
 
+// ParseExpr parses a bare predicate expression — the WHERE-clause grammar
+// without the surrounding SELECT. Callers that assemble Query ASTs directly
+// (e.g. the ZQL compiler) use it to lift raw constraint text into an Expr.
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("trailing input starting with %q", p.peek().text)
+	}
+	return e, nil
+}
+
 type parser struct {
 	src  string
 	toks []token

@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/minisql"
 	"repro/internal/vis"
 	"repro/internal/zql"
 )
@@ -62,9 +62,11 @@ func splitComposite(attr string) []string {
 	return []string{attr}
 }
 
-// sqlJob is one SQL statement feeding one or more units.
-type sqlJob struct {
-	sql   string
+// queryJob is one logical query feeding one or more units. The query is a
+// minisql AST built directly by the compiler — no SQL text is parsed on the
+// hot path; the statement is only rendered to SQL for the inspectable log.
+type queryJob struct {
+	q     *minisql.Query
 	units []*fetchUnit
 	// Splitting metadata:
 	xCols   []string
@@ -86,49 +88,56 @@ func (ex *executor) aggFor(vd zql.VizDef) (agg string, raw bool) {
 	return ex.opts.DefaultAgg, false
 }
 
-// unitSQL builds the naive one-query-per-visualization SQL of Section 5.1.
-func (ex *executor) unitSQL(u *fetchUnit, constraints string) (*sqlJob, error) {
+// unitQuery builds the naive one-query-per-visualization plan of Section 5.1
+// as a minisql AST.
+func (ex *executor) unitQuery(u *fetchUnit, constraints minisql.Expr) (*queryJob, error) {
 	agg, raw := ex.aggFor(u.vd)
-	var sb strings.Builder
-	sb.WriteString("SELECT ")
+	q := &minisql.Query{From: ex.table.Name, Limit: -1}
 	for i, x := range u.xattrs {
-		if i > 0 {
-			sb.WriteString(", ")
-		}
-		sb.WriteString(xExpr(x, u.vd.XBin, i == 0))
+		q.Select = append(q.Select, xSelectItem(x, u.vd.XBin, i == 0))
 	}
 	yAlias := make(map[string]string, len(u.yattrs))
 	if raw {
-		fmt.Fprintf(&sb, ", %s", u.yattrs[0])
+		q.Select = append(q.Select, minisql.SelectItem{Col: u.yattrs[0]})
 	} else {
+		fn, err := minisql.ParseAgg(agg)
+		if err != nil {
+			return nil, err
+		}
 		for i, y := range u.yattrs {
 			alias := fmt.Sprintf("a%d", i)
 			yAlias[y] = alias
-			fmt.Fprintf(&sb, ", %s(%s) AS %s", strings.ToUpper(agg), y, alias)
+			q.Select = append(q.Select, minisql.SelectItem{Agg: fn, Col: y, Alias: alias})
+		}
+		for i, x := range u.xattrs {
+			q.GroupBy = append(q.GroupBy, xGroupKey(x, u.vd.XBin, i == 0))
 		}
 	}
-	fmt.Fprintf(&sb, " FROM %s", ex.table.Name)
-	where := whereClause(u.slices, constraints)
-	if where != "" {
-		sb.WriteString(" WHERE " + where)
+	q.Where = whereExpr(u.slices, constraints)
+	for _, c := range xOutNames(u.xattrs, u.vd.XBin) {
+		q.OrderBy = append(q.OrderBy, minisql.OrderItem{Col: c})
 	}
-	if !raw {
-		sb.WriteString(" GROUP BY ")
-		sb.WriteString(groupByList(u.xattrs, u.vd.XBin))
-	}
-	sb.WriteString(" ORDER BY " + strings.Join(xOutNames(u.xattrs, u.vd.XBin), ", "))
-	job := &sqlJob{sql: sb.String(), units: []*fetchUnit{u}, xCols: xOutNames(u.xattrs, u.vd.XBin), yAlias: yAlias, raw: raw}
+	job := &queryJob{q: q, units: []*fetchUnit{u}, xCols: xOutNames(u.xattrs, u.vd.XBin), yAlias: yAlias, raw: raw}
 	if raw {
 		job.rawYCol = u.yattrs[0]
 	}
 	return job, nil
 }
 
-func xExpr(attr string, bin float64, binnable bool) string {
+// xSelectItem is an x-axis select item; the first x attribute carries the
+// binning and is aliased "xbin" so splitting can find it.
+func xSelectItem(attr string, bin float64, binnable bool) minisql.SelectItem {
 	if bin > 0 && binnable {
-		return fmt.Sprintf("BIN(%s, %g) AS xbin", attr, bin)
+		return minisql.SelectItem{Col: attr, Bin: bin, Alias: "xbin"}
 	}
-	return attr
+	return minisql.SelectItem{Col: attr}
+}
+
+func xGroupKey(attr string, bin float64, binnable bool) minisql.GroupKey {
+	if bin > 0 && binnable {
+		return minisql.GroupKey{Col: attr, Bin: bin}
+	}
+	return minisql.GroupKey{Col: attr}
 }
 
 func xOutNames(xattrs []string, bin float64) []string {
@@ -143,27 +152,27 @@ func xOutNames(xattrs []string, bin float64) []string {
 	return out
 }
 
-func groupByList(xattrs []string, bin float64) string {
-	parts := make([]string, len(xattrs))
-	for i, x := range xattrs {
-		if bin > 0 && i == 0 {
-			parts[i] = fmt.Sprintf("BIN(%s, %g)", x, bin)
-		} else {
-			parts[i] = x
-		}
+// whereExpr conjoins slice equality predicates with the row constraints.
+func whereExpr(slices []vis.Slice, constraints minisql.Expr) minisql.Expr {
+	var parts []minisql.Expr
+	for _, s := range slices {
+		parts = append(parts, &minisql.Compare{Col: s.Attr, Op: minisql.CmpEq, Val: dataset.SV(s.Value)})
 	}
-	return strings.Join(parts, ", ")
+	if constraints != nil {
+		parts = append(parts, constraints)
+	}
+	return andOf(parts)
 }
 
-func whereClause(slices []vis.Slice, constraints string) string {
-	var parts []string
-	for _, s := range slices {
-		parts = append(parts, fmt.Sprintf("%s = '%s'", s.Attr, strings.ReplaceAll(s.Value, "'", "''")))
+// andOf conjoins predicate parts: nil for none, the bare expression for one.
+func andOf(parts []minisql.Expr) minisql.Expr {
+	switch len(parts) {
+	case 0:
+		return nil
+	case 1:
+		return parts[0]
 	}
-	if strings.TrimSpace(constraints) != "" {
-		parts = append(parts, "("+constraints+")")
-	}
-	return strings.Join(parts, " AND ")
+	return &minisql.And{Args: parts}
 }
 
 // batchKey groups units that one SQL query can serve: same x shape, same
@@ -177,10 +186,11 @@ func batchKey(u *fetchUnit, agg string, raw bool) string {
 		fmt.Sprint(raw) + "|" + strings.Join(zattrs, ",")
 }
 
-// batchSQL builds the intra-line batched SQL of Section 5.2: Z values become
-// IN lists, Y attributes become a multi-aggregate select, and the Z columns
-// are added to SELECT/GROUP BY/ORDER BY so results can be split.
-func (ex *executor) batchSQL(units []*fetchUnit, constraints string) (*sqlJob, error) {
+// batchQuery builds the intra-line batched query of Section 5.2 as a minisql
+// AST: Z values become IN lists, Y attributes become a multi-aggregate
+// select, and the Z columns are added to SELECT/GROUP BY/ORDER BY so results
+// can be split.
+func (ex *executor) batchQuery(units []*fetchUnit, constraints minisql.Expr) (*queryJob, error) {
 	u0 := units[0]
 	agg, raw := ex.aggFor(u0.vd)
 	// Collect distinct y attributes and z values per attribute, preserving
@@ -208,51 +218,53 @@ func (ex *executor) batchSQL(units []*fetchUnit, constraints string) (*sqlJob, e
 			}
 		}
 	}
-	var sb strings.Builder
-	sb.WriteString("SELECT ")
+	q := &minisql.Query{From: ex.table.Name, Limit: -1}
 	for i, x := range u0.xattrs {
-		if i > 0 {
-			sb.WriteString(", ")
-		}
-		sb.WriteString(xExpr(x, u0.vd.XBin, i == 0))
+		q.Select = append(q.Select, xSelectItem(x, u0.vd.XBin, i == 0))
 	}
 	yAlias := make(map[string]string, len(yattrs))
 	if raw {
-		fmt.Fprintf(&sb, ", %s", yattrs[0])
+		q.Select = append(q.Select, minisql.SelectItem{Col: yattrs[0]})
 	} else {
+		fn, err := minisql.ParseAgg(agg)
+		if err != nil {
+			return nil, err
+		}
 		for i, y := range yattrs {
 			alias := fmt.Sprintf("a%d", i)
 			yAlias[y] = alias
-			fmt.Fprintf(&sb, ", %s(%s) AS %s", strings.ToUpper(agg), y, alias)
+			q.Select = append(q.Select, minisql.SelectItem{Agg: fn, Col: y, Alias: alias})
 		}
 	}
 	for _, z := range zattrs {
-		fmt.Fprintf(&sb, ", %s", z)
+		q.Select = append(q.Select, minisql.SelectItem{Col: z})
 	}
-	fmt.Fprintf(&sb, " FROM %s", ex.table.Name)
-	var where []string
+	var where []minisql.Expr
 	for i, z := range zattrs {
-		quoted := make([]string, len(zlists[i]))
+		vals := make([]dataset.Value, len(zlists[i]))
 		for j, v := range zlists[i] {
-			quoted[j] = "'" + strings.ReplaceAll(v, "'", "''") + "'"
+			vals[j] = dataset.SV(v)
 		}
-		where = append(where, fmt.Sprintf("%s IN (%s)", z, strings.Join(quoted, ", ")))
+		where = append(where, &minisql.In{Col: z, Vals: vals})
 	}
-	if strings.TrimSpace(constraints) != "" {
-		where = append(where, "("+constraints+")")
+	if constraints != nil {
+		where = append(where, constraints)
 	}
-	if len(where) > 0 {
-		sb.WriteString(" WHERE " + strings.Join(where, " AND "))
+	q.Where = andOf(where)
+	if !raw {
+		for _, z := range zattrs {
+			q.GroupBy = append(q.GroupBy, minisql.GroupKey{Col: z})
+		}
+		for i, x := range u0.xattrs {
+			q.GroupBy = append(q.GroupBy, xGroupKey(x, u0.vd.XBin, i == 0))
+		}
 	}
 	orderCols := append(append([]string{}, zattrs...), xOutNames(u0.xattrs, u0.vd.XBin)...)
-	if !raw {
-		sb.WriteString(" GROUP BY ")
-		groupCols := append(append([]string{}, zattrs...), groupByList(u0.xattrs, u0.vd.XBin))
-		sb.WriteString(strings.Join(groupCols, ", "))
+	for _, c := range orderCols {
+		q.OrderBy = append(q.OrderBy, minisql.OrderItem{Col: c})
 	}
-	sb.WriteString(" ORDER BY " + strings.Join(orderCols, ", "))
-	job := &sqlJob{
-		sql:    sb.String(),
+	job := &queryJob{
+		q:      q,
 		units:  units,
 		xCols:  xOutNames(u0.xattrs, u0.vd.XBin),
 		zCols:  zattrs,
@@ -265,17 +277,34 @@ func (ex *executor) batchSQL(units []*fetchUnit, constraints string) (*sqlJob, e
 	return job, nil
 }
 
-// rowJobs compiles a resolved row into SQL jobs under the current
+// rowConstraints expands and parses the row's raw constraint text into a
+// predicate AST, once per row.
+func (ex *executor) rowConstraints(raw string) (minisql.Expr, error) {
+	expanded, err := ex.expandConstraints(raw)
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(expanded) == "" {
+		return nil, nil
+	}
+	e, err := minisql.ParseExpr(expanded)
+	if err != nil {
+		return nil, fmt.Errorf("constraints %q: %w", raw, err)
+	}
+	return e, nil
+}
+
+// rowJobs compiles a resolved row into query jobs under the current
 // optimization level.
-func (ex *executor) rowJobs(rs *rowState, units []*fetchUnit) ([]*sqlJob, error) {
-	constraints, err := ex.expandConstraints(rs.row.Constraints)
+func (ex *executor) rowJobs(rs *rowState, units []*fetchUnit) ([]*queryJob, error) {
+	constraints, err := ex.rowConstraints(rs.row.Constraints)
 	if err != nil {
 		return nil, err
 	}
 	if ex.opts.Opt == NoOpt {
-		jobs := make([]*sqlJob, 0, len(units))
+		jobs := make([]*queryJob, 0, len(units))
 		for _, u := range units {
-			j, err := ex.unitSQL(u, constraints)
+			j, err := ex.unitQuery(u, constraints)
 			if err != nil {
 				return nil, err
 			}
@@ -295,9 +324,9 @@ func (ex *executor) rowJobs(rs *rowState, units []*fetchUnit) ([]*sqlJob, error)
 		groups[k] = append(groups[k], u)
 	}
 	sort.Strings(keys)
-	var jobs []*sqlJob
+	var jobs []*queryJob
 	for _, k := range keys {
-		j, err := ex.batchSQL(groups[k], constraints)
+		j, err := ex.batchQuery(groups[k], constraints)
 		if err != nil {
 			return nil, err
 		}
@@ -306,42 +335,30 @@ func (ex *executor) rowJobs(rs *rowState, units []*fetchUnit) ([]*sqlJob, error)
 	return jobs, nil
 }
 
-// executeBatch runs the jobs of one request concurrently and splits their
-// results into the units' visualizations. It counts one request.
-func (ex *executor) executeBatch(jobs []*sqlJob) error {
+// executeBatch prepares the jobs of one request, runs them through the
+// back-end's shared-scan batch executor, and splits the results into the
+// units' visualizations. It counts one request.
+func (ex *executor) executeBatch(jobs []*queryJob) error {
 	if len(jobs) == 0 {
 		return nil
 	}
 	ex.stats.Requests++
 	ex.stats.SQLQueries += len(jobs)
-	for _, j := range jobs {
-		ex.sqlLog = append(ex.sqlLog, j.sql)
+	plans := make([]*engine.Plan, len(jobs))
+	for i, j := range jobs {
+		sql := j.q.SQL()
+		ex.sqlLog = append(ex.sqlLog, sql)
+		p, err := ex.db.Prepare(j.q)
+		if err != nil {
+			return fmt.Errorf("zexec: preparing %q: %w", sql, err)
+		}
+		plans[i] = p
 	}
 	start := time.Now()
-	par := ex.opts.Parallelism
-	if par <= 0 {
-		par = 8
-	}
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	errs := make([]error, len(jobs))
-	results := make([]*engine.Result, len(jobs))
-	for i, j := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, j *sqlJob) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := ex.db.ExecuteSQL(j.sql)
-			results[i], errs[i] = res, err
-		}(i, j)
-	}
-	wg.Wait()
+	results, err := ex.db.ExecuteBatch(plans)
 	ex.stats.QueryTime += time.Since(start)
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("zexec: executing %q: %w", jobs[i].sql, err)
-		}
+	if err != nil {
+		return fmt.Errorf("zexec: %w", err)
 	}
 	for i, j := range jobs {
 		if err := splitJob(j, results[i]); err != nil {
@@ -352,7 +369,7 @@ func (ex *executor) executeBatch(jobs []*sqlJob) error {
 }
 
 // splitJob distributes a job's result rows into its units' visualizations.
-func splitJob(j *sqlJob, res *engine.Result) error {
+func splitJob(j *queryJob, res *engine.Result) error {
 	xIdx := make([]int, len(j.xCols))
 	for i, c := range j.xCols {
 		xIdx[i] = res.ColIndex(c)

@@ -13,6 +13,7 @@ func (ex *executor) run() (*Result, error) {
 	if ex.table == nil {
 		return nil, fmt.Errorf("zexec: back-end has no table %q", ex.opts.Table)
 	}
+	scannedBefore := ex.db.Counters().RowsScanned
 	ex.bindings = make(map[string]*binding)
 	ex.groups = make(map[string]*varGroup)
 	ex.colls = make(map[string]*Collection)
@@ -31,6 +32,7 @@ func (ex *executor) run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ex.stats.RowsScanned = ex.db.Counters().RowsScanned - scannedBefore
 	return ex.assemble(), nil
 }
 
@@ -135,7 +137,7 @@ func (ex *executor) deriveCollection(e *zql.NameExpr, rs *rowState) (*Collection
 // fetchRows resolves, compiles, and fetches the given rows as one request,
 // then builds their collections and marks them fetched.
 func (ex *executor) fetchRows(states []*rowState) error {
-	var jobs []*sqlJob
+	var jobs []*queryJob
 	unitsByRow := make(map[*rowState][]*fetchUnit, len(states))
 	for _, rs := range states {
 		units, err := ex.buildUnits(rs)
@@ -152,7 +154,7 @@ func (ex *executor) fetchRows(states []*rowState) error {
 	if ex.opts.Opt == NoOpt {
 		// The naive compiler issues every query as its own request.
 		for _, j := range jobs {
-			if err := ex.executeBatch([]*sqlJob{j}); err != nil {
+			if err := ex.executeBatch([]*queryJob{j}); err != nil {
 				return err
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/minisql"
 	"repro/internal/vis"
 	"repro/internal/zql"
 )
@@ -304,5 +305,30 @@ func TestSQLLogRecordsTranslation(t *testing.T) {
 	}
 	if !strings.Contains(res.SQLLog[0], "product = '") {
 		t.Errorf("NoOpt SQL should use equality predicates:\n%s", res.SQLLog[0])
+	}
+}
+
+// TestSQLLogIsCanonicalSQL pins the AST renderer: every statement the
+// compiler logs must parse back and re-render to the identical bytes, at
+// every optimization level — the log is real, executable, canonical SQL.
+func TestSQLLogIsCanonicalSQL(t *testing.T) {
+	for _, key := range []string{"5.1", "5.2", "3.20"} {
+		for _, level := range []OptLevel{NoOpt, IntraLine, IntraTask, InterTask} {
+			opts := salesOpts()
+			opts.Opt = level
+			res := runCorpus(t, key, salesDB(), opts)
+			if len(res.SQLLog) == 0 {
+				t.Fatalf("%s at %s: empty SQL log", key, level)
+			}
+			for _, sql := range res.SQLLog {
+				q, err := minisql.Parse(sql)
+				if err != nil {
+					t.Fatalf("%s at %s: logged SQL does not parse: %v\n%s", key, level, err, sql)
+				}
+				if got := q.SQL(); got != sql {
+					t.Errorf("%s at %s: log is not canonical:\nlogged:   %s\nreparsed: %s", key, level, sql, got)
+				}
+			}
+		}
 	}
 }
