@@ -20,15 +20,18 @@ import (
 	"repro/internal/zql"
 )
 
-// Session is a connection to one dataset.
+// Session is a connection to one dataset. A Session is safe for concurrent
+// use as long as its back-end is; the query server shares one Session per
+// dataset across all requests.
 type Session struct {
-	mu      sync.Mutex
-	db      engine.DB
-	table   string
-	opt     zexec.OptLevel
-	metric  vis.Metric
-	seed    int64
-	history []HistoryEntry
+	mu        sync.Mutex
+	db        engine.DB
+	table     string
+	opt       zexec.OptLevel
+	metric    vis.Metric
+	seed      int64
+	histLimit int
+	history   []HistoryEntry
 }
 
 // HistoryEntry records one executed query.
@@ -40,14 +43,20 @@ type HistoryEntry struct {
 	Outputs int
 }
 
+// DefaultHistoryLimit bounds the recorded query history when no explicit
+// limit is configured. An unbounded history is a slow leak under sustained
+// traffic — a server session sees millions of queries.
+const DefaultHistoryLimit = 256
+
 // Option configures a Session.
 type Option func(*config) error
 
 type config struct {
-	bitmap bool
-	opt    zexec.OptLevel
-	metric vis.Metric
-	seed   int64
+	bitmap    bool
+	opt       zexec.OptLevel
+	metric    vis.Metric
+	seed      int64
+	histLimit int
 }
 
 // WithBitmapBackend selects the roaring-bitmap column store instead of the
@@ -89,13 +98,30 @@ func WithSeed(seed int64) Option {
 	}
 }
 
-// Open starts a session over an in-memory table.
-func Open(t *dataset.Table, opts ...Option) (*Session, error) {
-	cfg := config{opt: zexec.InterTask, metric: vis.DefaultMetric, seed: 1}
+// WithHistoryLimit bounds the recorded query history to the most recent n
+// entries (default DefaultHistoryLimit); n < 0 keeps the history unbounded.
+func WithHistoryLimit(n int) Option {
+	return func(c *config) error {
+		c.histLimit = n
+		return nil
+	}
+}
+
+func newConfig(opts []Option) (config, error) {
+	cfg := config{opt: zexec.InterTask, metric: vis.DefaultMetric, seed: 1, histLimit: DefaultHistoryLimit}
 	for _, o := range opts {
 		if err := o(&cfg); err != nil {
-			return nil, err
+			return cfg, err
 		}
+	}
+	return cfg, nil
+}
+
+// Open starts a session over an in-memory table.
+func Open(t *dataset.Table, opts ...Option) (*Session, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
 	}
 	var db engine.DB
 	if cfg.bitmap {
@@ -103,7 +129,22 @@ func Open(t *dataset.Table, opts ...Option) (*Session, error) {
 	} else {
 		db = engine.NewRowStore(t)
 	}
-	return &Session{db: db, table: t.Name, opt: cfg.opt, metric: cfg.metric, seed: cfg.seed}, nil
+	return &Session{db: db, table: t.Name, opt: cfg.opt, metric: cfg.metric, seed: cfg.seed, histLimit: cfg.histLimit}, nil
+}
+
+// OpenDB starts a session over an existing back-end — the path the query
+// server uses to share one store (wrapped in its cache and coalescer) across
+// every request. The WithBitmapBackend option is meaningless here: the
+// back-end is already built.
+func OpenDB(db engine.DB, table string, opts ...Option) (*Session, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if db.Table(table) == nil {
+		return nil, fmt.Errorf("client: back-end has no table %q", table)
+	}
+	return &Session{db: db, table: table, opt: cfg.opt, metric: cfg.metric, seed: cfg.seed, histLimit: cfg.histLimit}, nil
 }
 
 // OpenCSV starts a session over a CSV file.
@@ -126,12 +167,18 @@ func (s *Session) Query(src string) (*zexec.Result, error) {
 // QueryWithInputs executes a ZQL query supplying user-drawn visualizations
 // for its -f rows, keyed by name variable, as y-value series.
 func (s *Session) QueryWithInputs(src string, inputs map[string][]float64) (*zexec.Result, error) {
+	return s.QueryAt(src, inputs, s.opt)
+}
+
+// QueryAt executes a ZQL query at an explicit optimization level, overriding
+// the session default — the query server uses this for per-request levels.
+func (s *Session) QueryAt(src string, inputs map[string][]float64, opt zexec.OptLevel) (*zexec.Result, error) {
 	q, err := zql.Parse(src)
 	if err != nil {
 		s.record(src, nil, err)
 		return nil, err
 	}
-	opts := zexec.Options{Table: s.table, Opt: s.opt, Metric: s.metric, Seed: s.seed}
+	opts := zexec.Options{Table: s.table, Opt: opt, Metric: s.metric, Seed: s.seed}
 	if len(inputs) > 0 {
 		opts.Inputs = make(map[string]*vis.Visualization, len(inputs))
 		for name, ys := range inputs {
@@ -149,6 +196,14 @@ func (s *Session) Recommend(x, y, z string, k int) ([]recommend.Recommendation, 
 	return recommend.Diverse(s.db, recommend.Request{
 		Table: s.table, X: x, Y: y, Z: z, K: k, Seed: s.seed,
 	}, s.metric)
+}
+
+// HistoryLen returns the number of recorded history entries without copying
+// the log.
+func (s *Session) HistoryLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.history)
 }
 
 // History returns the recorded query log, newest last.
@@ -171,6 +226,15 @@ func (s *Session) record(src string, res *zexec.Result, err error) {
 	}
 	s.mu.Lock()
 	s.history = append(s.history, e)
+	// Drop the oldest entry when over the limit; the history grows by one per
+	// query, so a single shift keeps it exactly at the cap.
+	if s.histLimit >= 0 && len(s.history) > s.histLimit {
+		n := copy(s.history, s.history[len(s.history)-s.histLimit:])
+		for i := n; i < len(s.history); i++ {
+			s.history[i] = HistoryEntry{} // release references in the tail
+		}
+		s.history = s.history[:n]
+	}
 	s.mu.Unlock()
 }
 

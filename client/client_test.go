@@ -1,11 +1,13 @@
 package client
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/workload"
 	"repro/internal/zexec"
 )
@@ -149,5 +151,68 @@ func TestDescribe(t *testing.T) {
 	d := s.Describe()
 	if !strings.Contains(d, "sales:") || !strings.Contains(d, "product") || !strings.Contains(d, "revenue") {
 		t.Errorf("describe = %q", d)
+	}
+}
+
+func TestHistoryCap(t *testing.T) {
+	tbl := workload.Sales(workload.SalesConfig{Rows: 500, Products: 3, Years: 4, Cities: 2, Seed: 2})
+	s, err := Open(tbl, WithHistoryLimit(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use parse failures as cheap history entries with distinguishable text.
+	for i := 0; i < 10; i++ {
+		s.Query(fmt.Sprintf("bad query %d ~~~", i))
+	}
+	h := s.History()
+	if len(h) != 3 {
+		t.Fatalf("history = %d entries, want 3", len(h))
+	}
+	// The most recent K entries survive, oldest first.
+	for i, want := range []string{"bad query 7 ~~~", "bad query 8 ~~~", "bad query 9 ~~~"} {
+		if h[i].ZQL != want {
+			t.Errorf("h[%d].ZQL = %q, want %q", i, h[i].ZQL, want)
+		}
+	}
+	// The default cap applies when no option is given.
+	s2, err := Open(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < DefaultHistoryLimit+10; i++ {
+		s2.Query("nope ~~~")
+	}
+	if got := len(s2.History()); got != DefaultHistoryLimit {
+		t.Errorf("default-capped history = %d entries, want %d", got, DefaultHistoryLimit)
+	}
+	// A negative limit keeps the history unbounded.
+	s3, err := Open(tbl, WithHistoryLimit(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < DefaultHistoryLimit+10; i++ {
+		s3.Query("nope ~~~")
+	}
+	if got := len(s3.History()); got != DefaultHistoryLimit+10 {
+		t.Errorf("unbounded history = %d entries, want %d", got, DefaultHistoryLimit+10)
+	}
+}
+
+func TestOpenDB(t *testing.T) {
+	tbl := workload.Sales(workload.SalesConfig{Rows: 2000, Products: 4, Years: 5, Cities: 2, Seed: 2})
+	db := engine.NewRowStore(tbl)
+	s, err := OpenDB(db, "sales", WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(risingQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 1 {
+		t.Fatalf("outputs = %d", len(res.Outputs))
+	}
+	if _, err := OpenDB(db, "missing"); err == nil {
+		t.Error("OpenDB over a missing table should error")
 	}
 }

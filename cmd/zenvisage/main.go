@@ -104,7 +104,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt, err := parseOpt(*optLevel)
+	opt, err := zexec.OptLevelByName(*optLevel)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -165,20 +165,6 @@ func readQuery(path string) (string, error) {
 	return string(b), err
 }
 
-func parseOpt(s string) (zexec.OptLevel, error) {
-	switch s {
-	case "noopt":
-		return zexec.NoOpt, nil
-	case "intraline":
-		return zexec.IntraLine, nil
-	case "intratask":
-		return zexec.IntraTask, nil
-	case "intertask":
-		return zexec.InterTask, nil
-	}
-	return 0, fmt.Errorf("unknown -opt %q", s)
-}
-
 func runRecommend(db engine.DB, table, spec string, m vis.Metric, seed int64) error {
 	var x, y, z string
 	if n, err := fmt.Sscanf(spec, "%s", &spec); n != 1 || err != nil {
@@ -203,23 +189,11 @@ func runRecommend(db engine.DB, table, spec string, m vis.Metric, seed int64) er
 // buildTaskQuery translates the CLI's task flags through the drag-and-drop
 // front-end logic into ZQL.
 func buildTaskQuery(task, x, y, z, draw string, k int) (string, map[string]*vis.Visualization, error) {
-	spec := frontend.Spec{X: x, Y: y, Z: z, K: k}
-	switch task {
-	case "similar":
-		spec.Task = frontend.TaskSimilarity
-	case "dissimilar":
-		spec.Task = frontend.TaskDissimilarity
-	case "representative":
-		spec.Task = frontend.TaskRepresentative
-	case "outliers":
-		spec.Task = frontend.TaskOutlier
-	case "rising":
-		spec.Task = frontend.TaskRisingTrends
-	case "falling":
-		spec.Task = frontend.TaskFallingTrends
-	default:
-		return "", nil, fmt.Errorf("unknown -task %q", task)
+	kind, err := frontend.TaskByName(task)
+	if err != nil {
+		return "", nil, err
 	}
+	spec := frontend.Spec{X: x, Y: y, Z: z, K: k, Task: kind}
 	if draw != "" {
 		for _, part := range strings.Split(draw, ",") {
 			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)

@@ -1,0 +1,149 @@
+// Command zserved is the zenvisage query server: the HTTP JSON API between a
+// browser front-end and the ZQL engine (the serving layer of the paper's
+// Figure 6.1 architecture). It loads one or more named datasets — CSV files
+// or built-in demo generators — and serves concurrent /query, /spec, and
+// /recommend requests over them, coalescing concurrent work into shared-scan
+// batches and caching results keyed by canonical plan SQL.
+//
+// Usage:
+//
+//	zserved -demo sales
+//	zserved -data flights=flights.csv -data sales=sales.csv -backend bitmap
+//	zserved -demo sales,housing -addr :8421 -cache 4096
+//
+// Then:
+//
+//	curl localhost:8421/datasets
+//	curl -X POST localhost:8421/query -d '{"dataset":"sales","zql":"..."}'
+//	curl localhost:8421/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/server"
+	"repro/internal/workload"
+	"repro/internal/zexec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("zserved: ")
+	var dataSpecs []string
+	var (
+		addr     = flag.String("addr", ":8421", "listen address")
+		demos    = flag.String("demo", "", "comma-separated built-in demo datasets: sales, airline, census, housing")
+		backend  = flag.String("backend", "row", "storage back-end for every dataset: row or bitmap")
+		cache    = flag.Int("cache", server.DefaultCacheEntries, "result cache entries per dataset (negative disables)")
+		workers  = flag.Int("workers", 1, "coalescing workers per dataset (1 maximizes shared scans)")
+		optName  = flag.String("opt", "intertask", "default optimization level: noopt, intraline, intratask, intertask")
+		metric   = flag.String("metric", "euclidean", "distance metric D: euclidean, dtw, kl, emd (raw- prefix skips normalization)")
+		seed     = flag.Int64("seed", 42, "seed for R (k-means) determinism")
+		demoRows = flag.Int("demo-rows", 50000, "row count for the demo generators")
+	)
+	flag.Func("data", "dataset to serve as name=path.csv (repeatable)", func(v string) error {
+		dataSpecs = append(dataSpecs, v)
+		return nil
+	})
+	flag.Parse()
+
+	// Validate the level up front so a typo fails at startup, not at the
+	// first registration.
+	if _, err := zexec.OptLevelByName(*optName); err != nil {
+		log.Fatal(err)
+	}
+	cfg := server.Config{
+		Backend:      *backend,
+		Opt:          *optName,
+		Metric:       *metric,
+		Seed:         *seed,
+		CacheEntries: *cache,
+		Workers:      *workers,
+	}
+
+	reg := server.NewRegistry()
+	for _, spec := range dataSpecs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			log.Fatalf("bad -data %q (want name=path.csv)", spec)
+		}
+		d, err := reg.LoadCSV(name, path, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %s: %d rows from %s (%s backend)", d.Name(), d.Table().NumRows(), path, d.Backend())
+	}
+	if *demos != "" {
+		for _, name := range strings.Split(*demos, ",") {
+			t, err := demoTable(strings.TrimSpace(name), *demoRows)
+			if err != nil {
+				log.Fatal(err)
+			}
+			d, err := reg.AddTable(t, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("loaded demo %s: %d rows (%s backend)", d.Name(), d.Table().NumRows(), d.Backend())
+		}
+	}
+	if len(reg.List()) == 0 {
+		log.Fatal("nothing to serve: provide -data name=path.csv and/or -demo names")
+	}
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      server.New(reg),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 5 * time.Minute, // big result sets over slow links
+		IdleTimeout:  2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving %d dataset(s) on %s", len(reg.List()), *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("%v: shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}
+
+// demoTable builds one of the built-in synthetic datasets at roughly the
+// requested size.
+func demoTable(name string, rows int) (*dataset.Table, error) {
+	switch name {
+	case "sales":
+		return workload.Sales(workload.SalesConfig{Rows: rows, Products: 24, Years: 10, Cities: 10, Seed: 1}), nil
+	case "airline":
+		return workload.Airline(workload.AirlineConfig{Rows: rows, Airports: 20, Years: 10, Seed: 2}), nil
+	case "census":
+		return workload.Census(workload.CensusConfig{Rows: rows, Seed: 3}), nil
+	case "housing":
+		// Housing emits one row per city per month: size by city count.
+		cities := rows / (12 * 12)
+		if cities < 10 {
+			cities = 10
+		}
+		return workload.Housing(workload.HousingConfig{Cities: cities, States: 10, Years: 12, Seed: 4}), nil
+	}
+	return nil, fmt.Errorf("unknown demo %q (want sales, airline, census, or housing)", name)
+}

@@ -1,0 +1,118 @@
+// Serverquickstart: the zenvisage query server end to end, in one process.
+// It registers the synthetic sales dataset, starts the HTTP API on a random
+// local port, and then plays the browser front-end: list the datasets, run a
+// drag-and-drop similarity task through POST /spec, run the same search again
+// (now served from the result cache), and read the counters from GET /stats.
+//
+// Run with: go run ./examples/serverquickstart
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Register a dataset: one immutable store shared by every request,
+	//    wrapped in a coalescer and a plan-keyed result cache.
+	reg := server.NewRegistry()
+	table := workload.Sales(workload.SalesConfig{
+		Rows: 20000, Products: 12, Years: 8, Cities: 6, Seed: 1,
+	})
+	if _, err := reg.AddTable(table, server.Config{Seed: 7}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Serve it. (cmd/zserved is this plus flags and signal handling.)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { log.Fatal(http.Serve(ln, server.New(reg))) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("zenvisage query server listening on %s\n\n", base)
+
+	// 3. GET /datasets — what the building-blocks panel populates from.
+	var datasets struct {
+		Datasets []server.DatasetInfo `json:"datasets"`
+	}
+	getJSON(base+"/datasets", &datasets)
+	for _, d := range datasets.Datasets {
+		fmt.Printf("dataset %q: %d rows, %d columns, %s backend\n",
+			d.Name, d.Rows, len(d.Columns), d.Backend)
+	}
+
+	// 4. POST /spec — "find the 3 products whose revenue trend looks most
+	//    like the line I drew", the drag-and-drop similarity task.
+	req := server.SpecRequest{
+		Dataset: "sales",
+		Spec: server.SpecJSON{
+			X: "year", Y: "revenue", Z: "product",
+			Task: "similar", K: 3,
+			Drawn: []float64{10, 20, 30, 40, 50, 60, 70, 80},
+		},
+	}
+	for run := 1; run <= 2; run++ {
+		var resp server.QueryResponse
+		postJSON(base+"/spec", req, &resp)
+		out := resp.Result.Outputs[len(resp.Result.Outputs)-1]
+		fmt.Printf("\nrun %d: %d similar products, %d rows scanned, %d SQL queries\n",
+			run, len(out.Visualizations), resp.Stats.RowsScanned, resp.Stats.SQLQueries)
+		for _, v := range out.Visualizations {
+			fmt.Printf("  %s (%d points)\n", v.Label, len(v.Points))
+		}
+	}
+
+	// 5. GET /stats — the second run hit the result cache, so the engine
+	//    scanned nothing new.
+	var stats struct {
+		Datasets map[string]server.DatasetStats `json:"datasets"`
+	}
+	getJSON(base+"/stats", &stats)
+	s := stats.Datasets["sales"]
+	fmt.Printf("\nserver stats: %d spec requests, cache %d hits / %d misses, %d rows scanned total\n",
+		s.HTTP.Specs, s.Cache.Hits, s.Cache.Misses, s.RowsScanned)
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, v)
+}
+
+func postJSON(url string, body, v any) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, v)
+}
+
+func decode(resp *http.Response, v any) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("%s: %s", resp.Status, e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

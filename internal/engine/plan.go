@@ -16,9 +16,10 @@ import (
 // executed any number of times, alone (Execute) or as part of a batch
 // (DB.ExecuteBatch), where the back-end shares work across the plans.
 type Plan struct {
-	db DB
-	q  *minisql.Query
-	t  *dataset.Table
+	db  DB
+	q   *minisql.Query
+	t   *dataset.Table
+	sql string // canonical rendering of q, fixed at Prepare time
 
 	pred   rowPredicate      // compiled WHERE; always-true when q.Where is nil
 	cols   []string          // output column names
@@ -37,7 +38,7 @@ func newPlan(db DB, t *dataset.Table, q *minisql.Query) (*Plan, error) {
 	if t == nil {
 		return nil, fmt.Errorf("engine: no table %q", q.From)
 	}
-	p := &Plan{db: db, q: q, t: t}
+	p := &Plan{db: db, q: q, t: t, sql: q.SQL()}
 	p.cols = make([]string, len(q.Select))
 	p.selCol = make([]*dataset.Column, len(q.Select))
 	p.keyOf = make([]int, len(q.Select))
@@ -108,8 +109,10 @@ func (p *Plan) Table() *dataset.Table { return p.t }
 // Query returns the logical query the plan was prepared from.
 func (p *Plan) Query() *minisql.Query { return p.q }
 
-// SQL renders the plan's query as canonical SQL text.
-func (p *Plan) SQL() string { return p.q.SQL() }
+// SQL returns the canonical SQL text of the plan's query, rendered once at
+// Prepare time — it doubles as the plan's result-cache key, so it must not
+// depend on anything but the query.
+func (p *Plan) SQL() string { return p.sql }
 
 // planRunner is the store-side single-plan entry point; both back-ends
 // implement it.

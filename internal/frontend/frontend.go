@@ -36,6 +36,50 @@ const (
 	TaskFallingTrends
 )
 
+// String returns the task's button name, the spelling TaskByName accepts.
+func (t TaskKind) String() string {
+	switch t {
+	case TaskNone:
+		return "none"
+	case TaskSimilarity:
+		return "similar"
+	case TaskDissimilarity:
+		return "dissimilar"
+	case TaskRepresentative:
+		return "representative"
+	case TaskOutlier:
+		return "outliers"
+	case TaskRisingTrends:
+		return "rising"
+	case TaskFallingTrends:
+		return "falling"
+	}
+	return fmt.Sprintf("TaskKind(%d)", int(t))
+}
+
+// TaskByName resolves a task button by name — the spelling shared by the CLI
+// -task flag and the query server's spec endpoint. The empty string is
+// TaskNone (just display the selection).
+func TaskByName(name string) (TaskKind, error) {
+	switch name {
+	case "", "none":
+		return TaskNone, nil
+	case "similar":
+		return TaskSimilarity, nil
+	case "dissimilar":
+		return TaskDissimilarity, nil
+	case "representative":
+		return TaskRepresentative, nil
+	case "outliers":
+		return TaskOutlier, nil
+	case "rising":
+		return TaskRisingTrends, nil
+	case "falling":
+		return TaskFallingTrends, nil
+	}
+	return 0, fmt.Errorf("frontend: unknown task %q (want similar, dissimilar, representative, outliers, rising, or falling)", name)
+}
+
 // Filter is one row of the filters panel.
 type Filter struct {
 	Attr  string

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/minisql"
+)
+
+// batcher coalesces concurrent ExecuteBatch requests over one dataset into
+// shared engine batches. Each submission parks on a queue; a bounded pool of
+// drain workers repeatedly takes EVERYTHING queued and executes it as one
+// engine.DB.ExecuteBatch call, so N requests arriving while a scan is in
+// flight ride the next scan together instead of triggering N scans. This is
+// the serving-layer analog of the paper's inter-task batching: the batch
+// boundary is "whatever the server has queued right now" instead of one ZQL
+// query.
+type batcher struct {
+	db         engine.DB
+	maxWorkers int
+
+	mu      sync.Mutex
+	pending []*submission
+	workers int
+
+	// Stats, guarded by mu.
+	submissions int64 // ExecuteBatch calls coalesced through the queue
+	batches     int64 // engine batches actually issued
+	coalesced   int64 // submissions that shared an engine batch with another
+}
+
+// submission is one caller's batch waiting to be folded into an engine batch.
+type submission struct {
+	plans   []*engine.Plan
+	results []*engine.Result
+	err     error
+	done    chan struct{}
+}
+
+// newBatcher builds a coalescer over db with at most workers concurrent
+// engine batches in flight (<= 0 means 1).
+func newBatcher(db engine.DB, workers int) *batcher {
+	if workers < 1 {
+		workers = 1
+	}
+	return &batcher{db: db, maxWorkers: workers}
+}
+
+// submit runs plans through the coalescing queue and blocks until results are
+// available. Results align with plans.
+func (b *batcher) submit(plans []*engine.Plan) ([]*engine.Result, error) {
+	s := &submission{plans: plans, done: make(chan struct{})}
+	b.mu.Lock()
+	b.pending = append(b.pending, s)
+	b.submissions++
+	if b.workers < b.maxWorkers {
+		b.workers++
+		go b.drain()
+	}
+	b.mu.Unlock()
+	<-s.done
+	return s.results, s.err
+}
+
+// drain serves queued submissions until the queue is empty, then exits. The
+// worker count is adjusted under the same lock that guards the queue, so a
+// submission is never left behind: either an active worker sees it, or its
+// submitter sees a free worker slot and spawns one.
+func (b *batcher) drain() {
+	for {
+		b.mu.Lock()
+		if len(b.pending) == 0 {
+			b.workers--
+			b.mu.Unlock()
+			return
+		}
+		batch := b.pending
+		b.pending = nil
+		b.mu.Unlock()
+		b.runBatch(batch)
+	}
+}
+
+// runBatch executes the coalesced submissions as one engine batch and deals
+// the results back out. The engine reports a single error for a whole batch;
+// to keep one request's bad plan from failing its neighbors, an error on a
+// coalesced batch falls back to executing each submission separately.
+func (b *batcher) runBatch(subs []*submission) {
+	total := 0
+	for _, s := range subs {
+		total += len(s.plans)
+	}
+	all := make([]*engine.Plan, 0, total)
+	for _, s := range subs {
+		all = append(all, s.plans...)
+	}
+	results, err := b.execute(all)
+	if err != nil && len(subs) > 1 {
+		// Accounting: the failed shared attempt saved nothing; what the
+		// engine effectively served is one batch per submission.
+		b.mu.Lock()
+		b.batches += int64(len(subs))
+		b.mu.Unlock()
+		for _, s := range subs {
+			s.results, s.err = b.execute(s.plans)
+			close(s.done)
+		}
+		return
+	}
+	b.mu.Lock()
+	b.batches++
+	if len(subs) > 1 {
+		b.coalesced += int64(len(subs))
+	}
+	b.mu.Unlock()
+	off := 0
+	for _, s := range subs {
+		if err != nil {
+			s.err = err
+		} else {
+			s.results = results[off : off+len(s.plans) : off+len(s.plans)]
+		}
+		off += len(s.plans)
+		close(s.done)
+	}
+}
+
+// execute calls the engine, containing any panic as an error. Execution runs
+// on the batcher's drain goroutine, outside net/http's per-connection
+// recover: an unrecovered panic here would kill the whole server, and the
+// parked submitters — blocked on their done channels — would hang forever.
+func (b *batcher) execute(plans []*engine.Plan) (results []*engine.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("server: engine panic: %v", r)
+		}
+	}()
+	return b.db.ExecuteBatch(plans)
+}
+
+// BatchStats is a point-in-time snapshot of coalescing effectiveness.
+type BatchStats struct {
+	// Submissions is the number of ExecuteBatch calls routed through the
+	// queue.
+	Submissions int64 `json:"submissions"`
+	// Batches is the number of engine batches that effectively served the
+	// submissions (a failed shared attempt counts as its per-submission
+	// fallback executions); Submissions - Batches is scans saved by
+	// coalescing, and is never negative.
+	Batches int64 `json:"batches"`
+	// Coalesced is the number of submissions that successfully shared an
+	// engine batch with at least one other submission.
+	Coalesced int64 `json:"coalesced"`
+}
+
+// stats snapshots the coalescing counters.
+func (b *batcher) stats() BatchStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BatchStats{Submissions: b.submissions, Batches: b.batches, Coalesced: b.coalesced}
+}
+
+// coalescingDB adapts a batcher to engine.DB so it can sit under the result
+// cache and over the real store. Prepare goes straight to the store (plans
+// must be bound to the back-end that executes them); every execution path
+// funnels through the coalescing queue.
+//
+// Like cachingDB it does not implement engine.Parallel; the store's bound is
+// fixed server-side.
+type coalescingDB struct {
+	store engine.DB
+	bat   *batcher
+}
+
+func (d *coalescingDB) Name() string                     { return d.store.Name() }
+func (d *coalescingDB) Table(name string) *dataset.Table { return d.store.Table(name) }
+func (d *coalescingDB) Counters() engine.Counters        { return d.store.Counters() }
+func (d *coalescingDB) Prepare(q *minisql.Query) (*engine.Plan, error) {
+	return d.store.Prepare(q)
+}
+
+func (d *coalescingDB) Execute(q *minisql.Query) (*engine.Result, error) {
+	p, err := d.Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	results, err := d.bat.submit([]*engine.Plan{p})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+func (d *coalescingDB) ExecuteSQL(sql string) (*engine.Result, error) {
+	q, err := minisql.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return d.Execute(q)
+}
+
+func (d *coalescingDB) ExecuteBatch(plans []*engine.Plan) ([]*engine.Result, error) {
+	return d.bat.submit(plans)
+}

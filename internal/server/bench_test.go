@@ -1,0 +1,88 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkServerConcurrentQueries drives parallel HTTP clients through
+// POST /query over one shared dataset, cold (cache disabled: every request
+// re-executes) versus warm (default cache: repeated plans are served from
+// memory). Reported metrics make the reuse visible: rows scanned per request
+// and the cache hit rate from the dataset's Stats.
+func BenchmarkServerConcurrentQueries(b *testing.B) {
+	// A rotating workload of per-slice trend queries: the skewed interactive
+	// traffic shape the result cache exists for.
+	queries := make([]string, 8)
+	for i := range queries {
+		queries[i] = fmt.Sprintf(`
+NAME | X      | Y         | Z                            | VIZ
+*f1  | 'year' | 'revenue' | 'product'.'product%04d'      | line.(y=agg('avg'))`, i)
+	}
+	for _, mode := range []struct {
+		name  string
+		cache int
+	}{
+		{"cold", -1}, // cache disabled
+		{"warm", 0},  // default cache
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			reg := NewRegistry()
+			tbl := workload.Sales(workload.SalesConfig{Rows: 20000, Products: 12, Years: 8, Cities: 6, Seed: 1})
+			ds, err := reg.AddTable(tbl, Config{Seed: 7, CacheEntries: mode.cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(New(reg))
+			defer ts.Close()
+
+			bodies := make([][]byte, len(queries))
+			for i, q := range queries {
+				bodies[i], err = json.Marshal(QueryRequest{Dataset: "sales", ZQL: q})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			scannedBefore := ds.Stats().RowsScanned
+			var seq atomic.Int64
+			// Several clients per core: coalescing only shows when requests
+			// actually overlap, even on a single-core runner.
+			b.SetParallelism(4)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				client := ts.Client()
+				for pb.Next() {
+					body := bodies[int(seq.Add(1))%len(bodies)]
+					resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						b.Errorf("status %d", resp.StatusCode)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			st := ds.Stats()
+			b.ReportMetric(float64(st.RowsScanned-scannedBefore)/float64(b.N), "rows_scanned/op")
+			if total := st.Cache.Hits + st.Cache.Misses; total > 0 {
+				b.ReportMetric(100*float64(st.Cache.Hits)/float64(total), "cache_hit_%")
+			}
+			if st.Coalesce.Submissions > 0 {
+				b.ReportMetric(float64(st.Coalesce.Coalesced)/float64(st.Coalesce.Submissions)*100, "coalesced_%")
+			}
+		})
+	}
+}

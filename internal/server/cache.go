@@ -1,0 +1,184 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/minisql"
+)
+
+// ResultCache is a bounded LRU cache of engine results keyed by the canonical
+// rendered SQL of a prepared plan (engine.Plan.SQL). The canonical renderer
+// makes the key insensitive to the request that produced the query: two
+// browser sessions asking for the same slice hit the same entry.
+//
+// Cached *engine.Result values are shared between requests and MUST be
+// treated as read-only by every consumer; the zexec splitter and the JSON
+// encoders only read them.
+type ResultCache struct {
+	mu        sync.Mutex
+	cap       int
+	rowBudget int64 // total result rows held across entries
+	rows      int64
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key  string
+	res  *engine.Result
+	rows int64
+}
+
+// cacheRowsPerEntry scales the cache's total row budget: entry count alone is
+// a poor memory bound because a raw (no GROUP BY) result can hold a table's
+// worth of rows, so the cache also evicts by cumulative result rows —
+// capacity entries of this average size.
+const cacheRowsPerEntry = 1024
+
+// NewResultCache creates a cache holding up to capacity results totalling at
+// most capacity*cacheRowsPerEntry result rows. A capacity <= 0 disables
+// caching: Get always misses and Put is a no-op.
+func NewResultCache(capacity int) *ResultCache {
+	return &ResultCache{
+		cap:       capacity,
+		rowBudget: int64(capacity) * cacheRowsPerEntry,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for key, marking it most recently used.
+func (c *ResultCache) Get(key string) (*engine.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).res, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores a result under key, evicting least recently used entries while
+// the cache exceeds its entry capacity or its total row budget. A single
+// result bigger than the whole budget is not cached at all — pinning the
+// entire budget for one query would evict everything else for no aggregate
+// gain.
+func (c *ResultCache) Put(key string, res *engine.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	rows := int64(len(res.Rows))
+	if rows > c.rowBudget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.rows += rows - e.rows
+		e.res, e.rows = res, rows
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, rows: rows})
+		c.rows += rows
+	}
+	for c.ll.Len() > c.cap || c.rows > c.rowBudget {
+		oldest := c.ll.Back()
+		e := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, e.key)
+		c.rows -= e.rows
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Entries  int   `json:"entries"`
+	Capacity int   `json:"capacity"`
+	Rows     int64 `json:"rows"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+}
+
+// Stats snapshots the cache counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: c.ll.Len(), Capacity: c.cap, Rows: c.rows, Hits: c.hits, Misses: c.misses}
+}
+
+// cachingDB interposes the result cache between callers and an inner back-end:
+// every plan of a batch is first looked up by its canonical SQL; only the
+// misses reach the inner ExecuteBatch (and from there the coalescer and the
+// store's shared scans). It implements engine.DB so the whole client / zexec /
+// recommend stack runs over it unchanged.
+//
+// It deliberately does NOT implement engine.Parallel: the store's scan-worker
+// bound is server configuration, not per-request state.
+type cachingDB struct {
+	inner engine.DB
+	cache *ResultCache
+}
+
+func (d *cachingDB) Name() string                                   { return d.inner.Name() }
+func (d *cachingDB) Table(name string) *dataset.Table               { return d.inner.Table(name) }
+func (d *cachingDB) Counters() engine.Counters                      { return d.inner.Counters() }
+func (d *cachingDB) Prepare(q *minisql.Query) (*engine.Plan, error) { return d.inner.Prepare(q) }
+
+// Execute runs one query through the cache.
+func (d *cachingDB) Execute(q *minisql.Query) (*engine.Result, error) {
+	p, err := d.Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	results, err := d.ExecuteBatch([]*engine.Plan{p})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// ExecuteSQL parses and runs SQL text through the cache.
+func (d *cachingDB) ExecuteSQL(sql string) (*engine.Result, error) {
+	q, err := minisql.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return d.Execute(q)
+}
+
+// ExecuteBatch serves cache hits immediately and forwards only the missing
+// plans to the inner back-end as one (smaller) batch.
+func (d *cachingDB) ExecuteBatch(plans []*engine.Plan) ([]*engine.Result, error) {
+	results := make([]*engine.Result, len(plans))
+	var missIdx []int
+	var missPlans []*engine.Plan
+	for i, p := range plans {
+		if r, ok := d.cache.Get(p.SQL()); ok {
+			results[i] = r
+			continue
+		}
+		missIdx = append(missIdx, i)
+		missPlans = append(missPlans, p)
+	}
+	if len(missPlans) == 0 {
+		return results, nil
+	}
+	fetched, err := d.inner.ExecuteBatch(missPlans)
+	if err != nil {
+		return nil, err
+	}
+	for k, i := range missIdx {
+		results[i] = fetched[k]
+		d.cache.Put(plans[i].SQL(), fetched[k])
+	}
+	return results, nil
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"math"
+	"strconv"
+
+	"repro/internal/dataset"
+	"repro/internal/recommend"
+	"repro/internal/vis"
+	"repro/internal/zexec"
+)
+
+// The wire format. Result payloads are a pure function of the zexec result,
+// so a server response is byte-identical to an in-process client.Session run
+// encoded through the same functions — volatile run statistics travel in a
+// separate field.
+
+// PointJSON is one (x, y) pair; x keeps its dynamic type (number or string),
+// and y degrades to a string for non-finite values, which JSON numbers cannot
+// carry (and which would otherwise abort encoding mid-response).
+type PointJSON struct {
+	X any `json:"x"`
+	Y any `json:"y"`
+}
+
+// SliceJSON is one Z-column selection.
+type SliceJSON struct {
+	Attr  string `json:"attr"`
+	Value string `json:"value"`
+}
+
+// VisualizationJSON is the wire form of one chart.
+type VisualizationJSON struct {
+	XAttr   string      `json:"xAttr"`
+	YAttr   string      `json:"yAttr"`
+	Slices  []SliceJSON `json:"slices,omitempty"`
+	VizType string      `json:"vizType,omitempty"`
+	Label   string      `json:"label"`
+	Points  []PointJSON `json:"points"`
+}
+
+// CollectionJSON is an ordered collection of visualizations.
+type CollectionJSON struct {
+	Visualizations []VisualizationJSON `json:"visualizations"`
+}
+
+// ResultJSON is the deterministic payload of a query execution.
+type ResultJSON struct {
+	Outputs  []CollectionJSON    `json:"outputs"`
+	Bindings map[string][]string `json:"bindings,omitempty"`
+	SQLLog   []string            `json:"sqlLog,omitempty"`
+}
+
+// RunStatsJSON reports what one execution cost. RowsScanned is measured as a
+// delta of the dataset's cumulative engine counter over the request, so under
+// concurrent traffic it also includes rows scanned for overlapping requests —
+// and a coalesced shared scan's cost is inherently joint. Treat it as an
+// indicator per request; the per-dataset counters on /stats are exact.
+type RunStatsJSON struct {
+	SQLQueries    int     `json:"sqlQueries"`
+	Requests      int     `json:"requests"`
+	RowsScanned   int64   `json:"rowsScanned"`
+	QueryTimeMs   float64 `json:"queryTimeMs"`
+	ProcessTimeMs float64 `json:"processTimeMs"`
+}
+
+// RecommendationJSON is one recommended trend.
+type RecommendationJSON struct {
+	Visualization VisualizationJSON `json:"visualization"`
+	ClusterSize   int               `json:"clusterSize"`
+}
+
+// valueJSON renders a dataset value for JSON: numerics stay numeric, strings
+// stay strings, NULL and non-finite floats degrade to their string rendering.
+func valueJSON(v dataset.Value) any {
+	switch v.Kind {
+	case dataset.KindInt:
+		return v.I
+	case dataset.KindFloat:
+		return floatJSON(v.F)
+	default:
+		return v.String()
+	}
+}
+
+// floatJSON keeps finite floats numeric and renders NaN/Inf as strings.
+func floatJSON(f float64) any {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	return f
+}
+
+// EncodeVisualization converts one visualization to its wire form.
+func EncodeVisualization(v *vis.Visualization) VisualizationJSON {
+	out := VisualizationJSON{
+		XAttr:   v.XAttr,
+		YAttr:   v.YAttr,
+		VizType: v.VizType,
+		Label:   v.Label(),
+		Points:  make([]PointJSON, len(v.Points)),
+	}
+	for _, s := range v.Slices {
+		out.Slices = append(out.Slices, SliceJSON{Attr: s.Attr, Value: s.Value})
+	}
+	for i, p := range v.Points {
+		out.Points[i] = PointJSON{X: valueJSON(p.X), Y: floatJSON(p.Y)}
+	}
+	return out
+}
+
+// EncodeResult converts a zexec result to the deterministic wire payload.
+func EncodeResult(res *zexec.Result) ResultJSON {
+	out := ResultJSON{
+		Outputs:  make([]CollectionJSON, len(res.Outputs)),
+		Bindings: res.Bindings,
+		SQLLog:   res.SQLLog,
+	}
+	for i, coll := range res.Outputs {
+		c := CollectionJSON{Visualizations: make([]VisualizationJSON, len(coll.Vis))}
+		for j, v := range coll.Vis {
+			c.Visualizations[j] = EncodeVisualization(v)
+		}
+		out.Outputs[i] = c
+	}
+	return out
+}
+
+// EncodeStats converts run statistics to their wire form.
+func EncodeStats(s zexec.Stats) RunStatsJSON {
+	return RunStatsJSON{
+		SQLQueries:    s.SQLQueries,
+		Requests:      s.Requests,
+		RowsScanned:   s.RowsScanned,
+		QueryTimeMs:   float64(s.QueryTime.Microseconds()) / 1000,
+		ProcessTimeMs: float64(s.ProcessTime.Microseconds()) / 1000,
+	}
+}
+
+// EncodeRecommendations converts recommendations to their wire form.
+func EncodeRecommendations(recs []recommend.Recommendation) []RecommendationJSON {
+	out := make([]RecommendationJSON, len(recs))
+	for i, r := range recs {
+		out[i] = RecommendationJSON{Visualization: EncodeVisualization(r.Vis), ClusterSize: r.ClusterSize}
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+// Package server is the serving layer of zenvisage: the HTTP JSON API the
+// paper's architecture diagram (Figure 6.1) puts between the browser
+// front-end and the ZQL engine. It holds a registry of named, CSV- or
+// generator-backed datasets, each wrapped in a per-dataset result cache and a
+// request coalescer so that concurrent interactive traffic over one dataset
+// shares scans and reuses prior work instead of multiplying cold scans.
+//
+// Stacking, per dataset, bottom to top:
+//
+//	engine.DB (RowStore | BitmapStore)   one immutable store, shared read-only
+//	  coalescingDB                       queued submissions fold into one ExecuteBatch
+//	    cachingDB                        LRU results keyed by canonical plan SQL
+//	      client.Session                 ZQL parse/execute + bounded history
+//	        HTTP handlers                /query /spec /recommend /datasets /stats
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/client"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/zexec"
+)
+
+// DefaultCacheEntries is the per-dataset result cache capacity when the
+// config does not set one.
+const DefaultCacheEntries = 1024
+
+// Config tunes one registered dataset.
+type Config struct {
+	// Backend selects the store: "row" (default) or "bitmap".
+	Backend string
+	// Opt names the default ZQL batching level for requests that do not
+	// carry one: "noopt", "intraline", "intratask", or "intertask"
+	// ("" = intertask, the strongest).
+	Opt string
+	// Metric names the distance metric D ("" = z-normalized Euclidean).
+	Metric string
+	// Seed makes R (k-means) and recommendations deterministic (0 = 1).
+	Seed int64
+	// CacheEntries bounds the result cache: 0 means DefaultCacheEntries,
+	// negative disables caching.
+	CacheEntries int
+	// Workers bounds concurrent engine batches issued by the coalescer
+	// (<= 0 = 1 per dataset, which maximizes coalescing; the engine still
+	// parallelizes inside each batch).
+	Workers int
+	// Parallelism bounds the store's scan workers per batch (<= 0 =
+	// GOMAXPROCS). Applied once at registration; never per request.
+	Parallelism int
+	// HistoryLimit bounds the session query history (0 = client default).
+	HistoryLimit int
+}
+
+// Dataset is one registered table with its store, cache, coalescer, and
+// session. All fields are fixed at registration; every method is safe for
+// concurrent use.
+type Dataset struct {
+	name    string
+	backend string
+	table   *dataset.Table
+
+	opt     zexec.OptLevel
+	store   engine.DB // the real back-end; counters live here
+	cache   *ResultCache
+	bat     *batcher
+	session *client.Session
+
+	queries    atomic.Int64
+	specs      atomic.Int64
+	recommends atomic.Int64
+	errors     atomic.Int64
+}
+
+// Name returns the registry name of the dataset.
+func (d *Dataset) Name() string { return d.name }
+
+// Backend returns the store kind, "row" or "bitmap".
+func (d *Dataset) Backend() string { return d.backend }
+
+// Table returns the immutable base table.
+func (d *Dataset) Table() *dataset.Table { return d.table }
+
+// Session returns the shared session over the cached, coalescing back-end.
+func (d *Dataset) Session() *client.Session { return d.session }
+
+// Opt returns the dataset's default optimization level.
+func (d *Dataset) Opt() zexec.OptLevel { return d.opt }
+
+// DatasetStats aggregates every per-dataset counter for /stats.
+type DatasetStats struct {
+	Backend string `json:"backend"`
+	Rows    int    `json:"rows"`
+	// Engine counters are cumulative over the real store, so cache hits
+	// leave RowsScanned untouched — the visible win of the cache.
+	Queries     int64      `json:"queries"`
+	RowsScanned int64      `json:"rowsScanned"`
+	Cache       CacheStats `json:"cache"`
+	Coalesce    BatchStats `json:"coalesce"`
+	HTTP        HTTPStats  `json:"http"`
+	History     int        `json:"historyEntries"`
+}
+
+// HTTPStats counts requests served per endpoint kind.
+type HTTPStats struct {
+	Queries    int64 `json:"queries"`
+	Specs      int64 `json:"specs"`
+	Recommends int64 `json:"recommends"`
+	Errors     int64 `json:"errors"`
+}
+
+// Stats snapshots the dataset's counters.
+func (d *Dataset) Stats() DatasetStats {
+	c := d.store.Counters()
+	return DatasetStats{
+		Backend:     d.backend,
+		Rows:        d.table.NumRows(),
+		Queries:     c.Queries,
+		RowsScanned: c.RowsScanned,
+		Cache:       d.cache.Stats(),
+		Coalesce:    d.bat.stats(),
+		HTTP: HTTPStats{
+			Queries:    d.queries.Load(),
+			Specs:      d.specs.Load(),
+			Recommends: d.recommends.Load(),
+			Errors:     d.errors.Load(),
+		},
+		History: d.session.HistoryLen(),
+	}
+}
+
+// Registry names and owns the served datasets. Registration is expected at
+// startup but is safe at any time; lookups are lock-cheap reads.
+type Registry struct {
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{datasets: make(map[string]*Dataset)}
+}
+
+// AddTable registers an in-memory table under its own name, building the
+// store, cache, coalescer, and session stack around it.
+func (r *Registry) AddTable(t *dataset.Table, cfg Config) (*Dataset, error) {
+	if t == nil || t.Name == "" {
+		return nil, fmt.Errorf("server: dataset needs a named table")
+	}
+	// Fail on a taken name before building the stack — a bitmap store indexes
+	// the whole table, too expensive to throw away. The authoritative check
+	// below still guards against a racing registration of the same name.
+	r.mu.RLock()
+	_, exists := r.datasets[t.Name]
+	r.mu.RUnlock()
+	if exists {
+		return nil, fmt.Errorf("server: dataset %q already registered", t.Name)
+	}
+	var store engine.DB
+	backend := cfg.Backend
+	switch backend {
+	case "", "row":
+		backend = "row"
+		store = engine.NewRowStore(t)
+	case "bitmap":
+		store = engine.NewBitmapStore(t)
+	default:
+		return nil, fmt.Errorf("server: unknown backend %q (want row or bitmap)", cfg.Backend)
+	}
+	if cfg.Parallelism > 0 {
+		store.(engine.Parallel).SetParallelism(cfg.Parallelism)
+	}
+	opt := zexec.InterTask
+	if cfg.Opt != "" {
+		var err error
+		if opt, err = zexec.OptLevelByName(cfg.Opt); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	entries := cfg.CacheEntries
+	if entries == 0 {
+		entries = DefaultCacheEntries
+	}
+	cache := NewResultCache(entries)
+	bat := newBatcher(store, cfg.Workers)
+	db := &cachingDB{inner: &coalescingDB{store: store, bat: bat}, cache: cache}
+
+	sessOpts := []client.Option{
+		client.WithOptLevel(opt),
+		client.WithSeed(cfg.Seed),
+	}
+	if cfg.Metric != "" {
+		sessOpts = append(sessOpts, client.WithMetric(cfg.Metric))
+	}
+	if cfg.HistoryLimit != 0 {
+		sessOpts = append(sessOpts, client.WithHistoryLimit(cfg.HistoryLimit))
+	}
+	sess, err := client.OpenDB(db, t.Name, sessOpts...)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		name:    t.Name,
+		backend: backend,
+		table:   t,
+		opt:     opt,
+		store:   store,
+		cache:   cache,
+		bat:     bat,
+		session: sess,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.datasets[d.name]; exists {
+		return nil, fmt.Errorf("server: dataset %q already registered", d.name)
+	}
+	r.datasets[d.name] = d
+	return d, nil
+}
+
+// LoadCSV registers a CSV file under name.
+func (r *Registry) LoadCSV(name, path string, cfg Config) (*Dataset, error) {
+	t, err := dataset.ReadCSVFile(name, path)
+	if err != nil {
+		return nil, err
+	}
+	return r.AddTable(t, cfg)
+}
+
+// Get returns the named dataset, or nil.
+func (r *Registry) Get(name string) *Dataset {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.datasets[name]
+}
+
+// List returns the datasets sorted by name.
+func (r *Registry) List() []*Dataset {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Dataset, 0, len(r.datasets))
+	for _, d := range r.datasets {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,307 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/frontend"
+	"repro/internal/zexec"
+)
+
+// maxBodyBytes bounds request bodies; ZQL text and drawn trends are tiny.
+const maxBodyBytes = 1 << 20
+
+// Server is the HTTP query server: a mux over a dataset registry.
+//
+// Endpoints:
+//
+//	POST /query      raw ZQL -> executed result
+//	POST /spec       drag-and-drop spec -> ZQL -> executed result
+//	POST /recommend  diverse-trend recommendations for an axis triple
+//	GET  /datasets   registered datasets with schemas
+//	GET  /stats      engine / cache / coalescing / HTTP counters
+//	GET  /healthz    liveness probe
+type Server struct {
+	reg *Registry
+	mux *http.ServeMux
+}
+
+// New builds a server over the registry.
+func New(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /spec", s.handleSpec)
+	s.mux.HandleFunc("POST /recommend", s.handleRecommend)
+	s.mux.HandleFunc("GET /datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP dispatches to the endpoint handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorJSON is the uniform error envelope.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+// decodeBody decodes a bounded JSON request body, rejecting unknown fields so
+// typos in hand-written curl payloads fail loudly.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// dataset resolves the request's dataset or writes a 404.
+func (s *Server) dataset(w http.ResponseWriter, name string) *Dataset {
+	if name == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing \"dataset\""))
+		return nil
+	}
+	d := s.reg.Get(name)
+	if d == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no dataset %q", name))
+	}
+	return d
+}
+
+// optLevel resolves a request's optional "opt" field against the dataset
+// default.
+func optLevel(d *Dataset, name string) (zexec.OptLevel, error) {
+	if name == "" {
+		return d.Opt(), nil
+	}
+	return zexec.OptLevelByName(name)
+}
+
+// QueryRequest is the body of POST /query.
+type QueryRequest struct {
+	Dataset string               `json:"dataset"`
+	ZQL     string               `json:"zql"`
+	Inputs  map[string][]float64 `json:"inputs,omitempty"`
+	Opt     string               `json:"opt,omitempty"`
+}
+
+// QueryResponse is the body of POST /query and POST /spec responses. Result
+// is deterministic for a given dataset and query; Stats varies run to run.
+type QueryResponse struct {
+	Dataset string       `json:"dataset"`
+	ZQL     string       `json:"zql,omitempty"`
+	Result  ResultJSON   `json:"result"`
+	Stats   RunStatsJSON `json:"stats"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	d := s.dataset(w, req.Dataset)
+	if d == nil {
+		return
+	}
+	d.queries.Add(1)
+	s.execute(w, d, req.ZQL, req.Inputs, req.Opt, "")
+}
+
+// SpecJSON is the wire form of the drag-and-drop interface state
+// (frontend.Spec with the task named instead of enumerated).
+type SpecJSON struct {
+	X       string       `json:"x"`
+	Y       string       `json:"y"`
+	Z       string       `json:"z,omitempty"`
+	ZValue  string       `json:"zValue,omitempty"`
+	Filters []FilterJSON `json:"filters,omitempty"`
+	VizType string       `json:"vizType,omitempty"`
+	Agg     string       `json:"agg,omitempty"`
+	Task    string       `json:"task,omitempty"`
+	K       int          `json:"k,omitempty"`
+	Drawn   []float64    `json:"drawn,omitempty"`
+}
+
+// FilterJSON is one row of the filters panel.
+type FilterJSON struct {
+	Attr  string `json:"attr"`
+	Op    string `json:"op,omitempty"`
+	Value string `json:"value"`
+}
+
+// toSpec maps the wire spec onto the front-end translation input.
+func (sj *SpecJSON) toSpec() (frontend.Spec, error) {
+	task, err := frontend.TaskByName(sj.Task)
+	if err != nil {
+		return frontend.Spec{}, err
+	}
+	spec := frontend.Spec{
+		X: sj.X, Y: sj.Y, Z: sj.Z, ZValue: sj.ZValue,
+		VizType: sj.VizType, Agg: sj.Agg,
+		Task: task, K: sj.K, Drawn: sj.Drawn,
+	}
+	for _, f := range sj.Filters {
+		spec.Filters = append(spec.Filters, frontend.Filter{Attr: f.Attr, Op: f.Op, Value: f.Value})
+	}
+	return spec, nil
+}
+
+// SpecRequest is the body of POST /spec.
+type SpecRequest struct {
+	Dataset string   `json:"dataset"`
+	Spec    SpecJSON `json:"spec"`
+	Opt     string   `json:"opt,omitempty"`
+}
+
+func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
+	var req SpecRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	d := s.dataset(w, req.Dataset)
+	if d == nil {
+		return
+	}
+	d.specs.Add(1)
+	spec, err := req.Spec.toSpec()
+	if err != nil {
+		d.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	zqlText, inputs, err := spec.ToZQL()
+	if err != nil {
+		d.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.execute(w, d, zqlText, inputs, req.Opt, zqlText)
+}
+
+// execute runs ZQL text through the dataset's session and writes the
+// response; echoZQL, when non-empty, is included so /spec callers can see the
+// translation.
+func (s *Server) execute(w http.ResponseWriter, d *Dataset, zqlText string, inputs map[string][]float64, optName, echoZQL string) {
+	opt, err := optLevel(d, optName)
+	if err != nil {
+		d.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := d.session.QueryAt(zqlText, inputs, opt)
+	if err != nil {
+		d.errors.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Dataset: d.name,
+		ZQL:     echoZQL,
+		Result:  EncodeResult(res),
+		Stats:   EncodeStats(res.Stats),
+	})
+}
+
+// RecommendRequest is the body of POST /recommend.
+type RecommendRequest struct {
+	Dataset string `json:"dataset"`
+	X       string `json:"x"`
+	Y       string `json:"y"`
+	Z       string `json:"z"`
+	K       int    `json:"k,omitempty"`
+}
+
+// RecommendResponse is the body of POST /recommend responses.
+type RecommendResponse struct {
+	Dataset         string               `json:"dataset"`
+	Recommendations []RecommendationJSON `json:"recommendations"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req RecommendRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	d := s.dataset(w, req.Dataset)
+	if d == nil {
+		return
+	}
+	d.recommends.Add(1)
+	recs, err := d.session.Recommend(req.X, req.Y, req.Z, req.K)
+	if err != nil {
+		d.errors.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RecommendResponse{
+		Dataset:         d.name,
+		Recommendations: EncodeRecommendations(recs),
+	})
+}
+
+// ColumnInfo describes one column of a served dataset.
+type ColumnInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// DatasetInfo describes one served dataset.
+type DatasetInfo struct {
+	Name    string       `json:"name"`
+	Backend string       `json:"backend"`
+	Rows    int          `json:"rows"`
+	Opt     string       `json:"opt"`
+	Columns []ColumnInfo `json:"columns"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	list := s.reg.List()
+	out := struct {
+		Datasets []DatasetInfo `json:"datasets"`
+	}{Datasets: make([]DatasetInfo, len(list))}
+	for i, d := range list {
+		info := DatasetInfo{
+			Name:    d.name,
+			Backend: d.backend,
+			Rows:    d.table.NumRows(),
+			Opt:     d.Opt().String(),
+		}
+		for _, c := range d.table.Columns() {
+			info.Columns = append(info.Columns, ColumnInfo{Name: c.Field.Name, Kind: c.Field.Kind.String()})
+		}
+		out.Datasets[i] = info
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	out := struct {
+		Datasets map[string]DatasetStats `json:"datasets"`
+	}{Datasets: make(map[string]DatasetStats)}
+	for _, d := range s.reg.List() {
+		out.Datasets[d.name] = d.Stats()
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -346,12 +346,13 @@ func (ex *executor) executeBatch(jobs []*queryJob) error {
 	ex.stats.SQLQueries += len(jobs)
 	plans := make([]*engine.Plan, len(jobs))
 	for i, j := range jobs {
-		sql := j.q.SQL()
-		ex.sqlLog = append(ex.sqlLog, sql)
 		p, err := ex.db.Prepare(j.q)
 		if err != nil {
-			return fmt.Errorf("zexec: preparing %q: %w", sql, err)
+			return fmt.Errorf("zexec: preparing %q: %w", j.q.SQL(), err)
 		}
+		// The plan rendered its canonical SQL once at Prepare; reuse it for
+		// the log instead of rendering again.
+		ex.sqlLog = append(ex.sqlLog, p.SQL())
 		plans[i] = p
 	}
 	start := time.Now()
