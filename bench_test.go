@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -359,4 +360,105 @@ func BenchmarkPrepareOverhead(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// processBenchTable builds a synthetic time-series table for the process-
+// phase benchmark: `near` series that track the probe ramp closely plus
+// far series oscillating around +/-1 — the shape of a real similarity
+// search, where a handful of candidates are close and the bulk is provably
+// far. The near series sort first, so the top-k bound tightens immediately
+// and the abandoning kernels cut the far candidates off within their first
+// DTW rows.
+func processBenchTable(groups, near, points int) *dataset.Table {
+	t := dataset.NewTable("series", []dataset.Field{
+		{Name: "g", Kind: dataset.KindString},
+		{Name: "t", Kind: dataset.KindInt},
+		{Name: "val", Kind: dataset.KindFloat},
+	})
+	for g := 0; g < groups; g++ {
+		state := uint64(g)*2654435761 + 12345
+		next := func() float64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return float64(state>>40)/float64(1<<24) - 0.5
+		}
+		for ts := 0; ts < points; ts++ {
+			var val float64
+			if g < near {
+				val = processBenchProbe(ts, points) + 0.01*next()
+			} else {
+				val = float64((ts%2)*2-1) + 0.05*next()
+			}
+			t.AppendRow(
+				dataset.SV(fmt.Sprintf("g%04d", g)),
+				dataset.IV(int64(ts)),
+				dataset.FV(val),
+			)
+		}
+	}
+	return t
+}
+
+// processBenchProbe is the drawn trend the benchmark searches for: a ramp.
+func processBenchProbe(ts, points int) float64 {
+	return 4 * float64(ts) / float64(points-1)
+}
+
+// BenchmarkProcessParallelVsSequential measures the process-phase executor
+// on a top-k similarity workload: argmin(v1)[k=5] D(f1, f2) over 64
+// DTW-compared series of 512 points, fetched identically (Inter-Task) on
+// both sides so the difference is purely the process phase. "sequential" is
+// the O0-style evaluator (one worker, no pruning); "parallel-pruned" is the
+// worker pool plus the bounded heap feeding the early-abandoning DTW kernel.
+// The abandoned/op metric shows pruning at work; the pruning win holds on a
+// single core, and the pool multiplies it on multicore.
+func BenchmarkProcessParallelVsSequential(b *testing.B) {
+	const groups, near, points = 64, 8, 512
+	tbl := processBenchTable(groups, near, points)
+	db := engine.NewRowStore(tbl)
+	metric, err := vis.MetricByName("dtw")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := `
+NAME | X   | Y     | Z           | PROCESS
+-f1  |     |       |             |
+f2   | 't' | 'val' | v1 <- 'g'.* | v2 <- argmin(v1)[k=5] D(f1, f2)
+*f3  | 't' | 'val' | v2          |`
+	q, err := zql.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := make([]float64, points)
+	for i := range probe {
+		probe[i] = processBenchProbe(i, points)
+	}
+	run := func(b *testing.B, mutate func(o *zexec.Options)) {
+		opts := zexec.Options{
+			Table:  "series",
+			Opt:    zexec.InterTask,
+			Metric: metric,
+			Seed:   42,
+			Inputs: map[string]*vis.Visualization{"f1": vis.FromFloats(probe)},
+		}
+		mutate(&opts)
+		var process time.Duration
+		var abandoned int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := zexec.Run(q, db, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			process += res.Stats.ProcessTime
+			abandoned += res.Stats.Process.DistAbandoned
+		}
+		b.ReportMetric(float64(process.Nanoseconds())/float64(b.N), "process-ns/op")
+		b.ReportMetric(float64(abandoned)/float64(b.N), "abandoned/op")
+	}
+	b.Run("sequential", func(b *testing.B) {
+		run(b, func(o *zexec.Options) { o.ProcessParallelism = 1; o.ProcessNoPrune = true })
+	})
+	b.Run("parallel-pruned", func(b *testing.B) {
+		run(b, func(o *zexec.Options) {})
+	})
 }

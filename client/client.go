@@ -30,6 +30,7 @@ type Session struct {
 	opt       zexec.OptLevel
 	metric    vis.Metric
 	seed      int64
+	pworkers  int
 	histLimit int
 	history   []HistoryEntry
 }
@@ -56,6 +57,7 @@ type config struct {
 	opt       zexec.OptLevel
 	metric    vis.Metric
 	seed      int64
+	pworkers  int
 	histLimit int
 }
 
@@ -98,6 +100,18 @@ func WithSeed(seed int64) Option {
 	}
 }
 
+// WithProcessParallelism bounds the process-phase worker goroutines per
+// query (0 = automatic: sequential at NoOpt, GOMAXPROCS otherwise; 1 forces
+// sequential scoring). Results are identical at every setting; the knob
+// trades per-query latency against CPU share — a server packing many
+// concurrent sessions onto one machine may want 1.
+func WithProcessParallelism(n int) Option {
+	return func(c *config) error {
+		c.pworkers = n
+		return nil
+	}
+}
+
 // WithHistoryLimit bounds the recorded query history to the most recent n
 // entries (default DefaultHistoryLimit); n < 0 keeps the history unbounded.
 func WithHistoryLimit(n int) Option {
@@ -129,7 +143,7 @@ func Open(t *dataset.Table, opts ...Option) (*Session, error) {
 	} else {
 		db = engine.NewRowStore(t)
 	}
-	return &Session{db: db, table: t.Name, opt: cfg.opt, metric: cfg.metric, seed: cfg.seed, histLimit: cfg.histLimit}, nil
+	return &Session{db: db, table: t.Name, opt: cfg.opt, metric: cfg.metric, seed: cfg.seed, pworkers: cfg.pworkers, histLimit: cfg.histLimit}, nil
 }
 
 // OpenDB starts a session over an existing back-end — the path the query
@@ -144,7 +158,7 @@ func OpenDB(db engine.DB, table string, opts ...Option) (*Session, error) {
 	if db.Table(table) == nil {
 		return nil, fmt.Errorf("client: back-end has no table %q", table)
 	}
-	return &Session{db: db, table: table, opt: cfg.opt, metric: cfg.metric, seed: cfg.seed, histLimit: cfg.histLimit}, nil
+	return &Session{db: db, table: table, opt: cfg.opt, metric: cfg.metric, seed: cfg.seed, pworkers: cfg.pworkers, histLimit: cfg.histLimit}, nil
 }
 
 // OpenCSV starts a session over a CSV file.
@@ -178,7 +192,7 @@ func (s *Session) QueryAt(src string, inputs map[string][]float64, opt zexec.Opt
 		s.record(src, nil, err)
 		return nil, err
 	}
-	opts := zexec.Options{Table: s.table, Opt: opt, Metric: s.metric, Seed: s.seed}
+	opts := zexec.Options{Table: s.table, Opt: opt, Metric: s.metric, Seed: s.seed, ProcessParallelism: s.pworkers}
 	if len(inputs) > 0 {
 		opts.Inputs = make(map[string]*vis.Visualization, len(inputs))
 		for name, ys := range inputs {

@@ -42,7 +42,7 @@ func main() {
 		demo      = flag.String("demo", "", "built-in demo dataset: sales, airline, census, housing")
 		queryPath = flag.String("query", "", "ZQL query file ('-' for stdin)")
 		backend   = flag.String("backend", "row", "storage back-end: row or bitmap")
-		optLevel  = flag.String("opt", "intertask", "optimization level: noopt, intraline, intratask, intertask")
+		optLevel  = flag.String("opt", "intertask", "optimization level: noopt, intraline, intratask, intertask (or o0..o3)")
 		metric    = flag.String("metric", "euclidean", "distance metric D: euclidean, dtw, kl, emd (raw- prefix skips normalization)")
 		recFlag   = flag.String("recommend", "", "recommendation request x:y:z instead of a query")
 		taskFlag  = flag.String("task", "", "drag-and-drop task button: similar, dissimilar, representative, outliers, rising, falling")
@@ -53,6 +53,8 @@ func main() {
 		kFlag     = flag.Int("k", 5, "top-k for -task")
 		maxCharts = flag.Int("charts", 8, "maximum charts rendered per output collection")
 		seed      = flag.Int64("seed", 42, "seed for R (k-means) determinism")
+		pworkers  = flag.Int("process-workers", 0, "process-phase worker goroutines (0 = auto: sequential at -opt noopt, GOMAXPROCS otherwise)")
+		noPrune   = flag.Bool("no-prune", false, "disable top-k pruning in the process phase (results are identical either way)")
 		showStats = flag.Bool("stats", true, "print execution statistics")
 	)
 	flag.Parse()
@@ -109,11 +111,13 @@ func main() {
 		log.Fatal(err)
 	}
 	res, err := zexec.Run(q, db, zexec.Options{
-		Table:  tbl.Name,
-		Opt:    opt,
-		Metric: m,
-		Seed:   *seed,
-		Inputs: inputs,
+		Table:              tbl.Name,
+		Opt:                opt,
+		Metric:             m,
+		Seed:               *seed,
+		Inputs:             inputs,
+		ProcessParallelism: *pworkers,
+		ProcessNoPrune:     *noPrune,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -132,6 +136,9 @@ func main() {
 	if *showStats {
 		fmt.Printf("\nstats: %d SQL queries in %d requests; %d rows scanned; query time %v, process time %v\n",
 			res.Stats.SQLQueries, res.Stats.Requests, res.Stats.RowsScanned, res.Stats.QueryTime, res.Stats.ProcessTime)
+		p := res.Stats.Process
+		fmt.Printf("process: %d tuples scored; %d distance calls, %d abandoned by pruning\n",
+			p.Tuples, p.DistCalls, p.DistAbandoned)
 	}
 }
 

@@ -47,7 +47,8 @@ func main() {
 		backend  = flag.String("backend", "row", "storage back-end for every dataset: row or bitmap")
 		cache    = flag.Int("cache", server.DefaultCacheEntries, "result cache entries per dataset (negative disables)")
 		workers  = flag.Int("workers", 1, "coalescing workers per dataset (1 maximizes shared scans)")
-		optName  = flag.String("opt", "intertask", "default optimization level: noopt, intraline, intratask, intertask")
+		pworkers = flag.Int("process-workers", 0, "process-phase worker goroutines per query (0 = auto)")
+		optName  = flag.String("opt", "intertask", "default optimization level: noopt, intraline, intratask, intertask (or o0..o3)")
 		metric   = flag.String("metric", "euclidean", "distance metric D: euclidean, dtw, kl, emd (raw- prefix skips normalization)")
 		seed     = flag.Int64("seed", 42, "seed for R (k-means) determinism")
 		demoRows = flag.Int("demo-rows", 50000, "row count for the demo generators")
@@ -64,12 +65,13 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := server.Config{
-		Backend:      *backend,
-		Opt:          *optName,
-		Metric:       *metric,
-		Seed:         *seed,
-		CacheEntries: *cache,
-		Workers:      *workers,
+		Backend:            *backend,
+		Opt:                *optName,
+		Metric:             *metric,
+		Seed:               *seed,
+		CacheEntries:       *cache,
+		Workers:            *workers,
+		ProcessParallelism: *pworkers,
 	}
 
 	reg := server.NewRegistry()

@@ -62,6 +62,11 @@ type RunStatsJSON struct {
 	RowsScanned   int64   `json:"rowsScanned"`
 	QueryTimeMs   float64 `json:"queryTimeMs"`
 	ProcessTimeMs float64 `json:"processTimeMs"`
+	// Process-phase work: tuples scored and distance calls made for this
+	// execution, with the subset the top-k pruning kernels abandoned early.
+	TuplesEvaluated int64 `json:"tuplesEvaluated"`
+	DistCalls       int64 `json:"distCalls"`
+	DistAbandoned   int64 `json:"distAbandoned"`
 }
 
 // RecommendationJSON is one recommended trend.
@@ -129,11 +134,14 @@ func EncodeResult(res *zexec.Result) ResultJSON {
 // EncodeStats converts run statistics to their wire form.
 func EncodeStats(s zexec.Stats) RunStatsJSON {
 	return RunStatsJSON{
-		SQLQueries:    s.SQLQueries,
-		Requests:      s.Requests,
-		RowsScanned:   s.RowsScanned,
-		QueryTimeMs:   float64(s.QueryTime.Microseconds()) / 1000,
-		ProcessTimeMs: float64(s.ProcessTime.Microseconds()) / 1000,
+		SQLQueries:      s.SQLQueries,
+		Requests:        s.Requests,
+		RowsScanned:     s.RowsScanned,
+		QueryTimeMs:     float64(s.QueryTime.Microseconds()) / 1000,
+		ProcessTimeMs:   float64(s.ProcessTime.Microseconds()) / 1000,
+		TuplesEvaluated: s.Process.Tuples,
+		DistCalls:       s.Process.DistCalls,
+		DistAbandoned:   s.Process.DistAbandoned,
 	}
 }
 

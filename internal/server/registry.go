@@ -52,6 +52,11 @@ type Config struct {
 	// Parallelism bounds the store's scan workers per batch (<= 0 =
 	// GOMAXPROCS). Applied once at registration; never per request.
 	Parallelism int
+	// ProcessParallelism bounds the process-phase worker goroutines per query
+	// (0 = automatic: GOMAXPROCS at optimized levels). Results are identical
+	// at every setting; a server packing many datasets onto one machine may
+	// want 1 so one request's top-k search doesn't monopolize the cores.
+	ProcessParallelism int
 	// HistoryLimit bounds the session query history (0 = client default).
 	HistoryLimit int
 }
@@ -74,6 +79,21 @@ type Dataset struct {
 	specs      atomic.Int64
 	recommends atomic.Int64
 	errors     atomic.Int64
+
+	// Process-phase totals accumulated over every query served. The result
+	// cache sits below the ZQL layer (it caches engine results, not zexec
+	// results), so the process phase runs per request and these are exact.
+	procTuples    atomic.Int64
+	procDist      atomic.Int64
+	procAbandoned atomic.Int64
+}
+
+// recordProcess folds one execution's process-phase counters into the
+// dataset totals.
+func (d *Dataset) recordProcess(s zexec.ProcessStats) {
+	d.procTuples.Add(s.Tuples)
+	d.procDist.Add(s.DistCalls)
+	d.procAbandoned.Add(s.DistAbandoned)
 }
 
 // Name returns the registry name of the dataset.
@@ -97,12 +117,22 @@ type DatasetStats struct {
 	Rows    int    `json:"rows"`
 	// Engine counters are cumulative over the real store, so cache hits
 	// leave RowsScanned untouched — the visible win of the cache.
-	Queries     int64      `json:"queries"`
-	RowsScanned int64      `json:"rowsScanned"`
-	Cache       CacheStats `json:"cache"`
-	Coalesce    BatchStats `json:"coalesce"`
-	HTTP        HTTPStats  `json:"http"`
-	History     int        `json:"historyEntries"`
+	Queries     int64         `json:"queries"`
+	RowsScanned int64         `json:"rowsScanned"`
+	Cache       CacheStats    `json:"cache"`
+	Coalesce    BatchStats    `json:"coalesce"`
+	Process     ProcessTotals `json:"process"`
+	HTTP        HTTPStats     `json:"http"`
+	History     int           `json:"historyEntries"`
+}
+
+// ProcessTotals aggregates process-phase work over every query the dataset
+// served: tuples scored, distance calls made, and distance calls the pruning
+// kernels abandoned early (work saved without changing results).
+type ProcessTotals struct {
+	Tuples        int64 `json:"tuples"`
+	DistCalls     int64 `json:"distCalls"`
+	DistAbandoned int64 `json:"distAbandoned"`
 }
 
 // HTTPStats counts requests served per endpoint kind.
@@ -123,6 +153,11 @@ func (d *Dataset) Stats() DatasetStats {
 		RowsScanned: c.RowsScanned,
 		Cache:       d.cache.Stats(),
 		Coalesce:    d.bat.stats(),
+		Process: ProcessTotals{
+			Tuples:        d.procTuples.Load(),
+			DistCalls:     d.procDist.Load(),
+			DistAbandoned: d.procAbandoned.Load(),
+		},
 		HTTP: HTTPStats{
 			Queries:    d.queries.Load(),
 			Specs:      d.specs.Load(),
@@ -195,6 +230,9 @@ func (r *Registry) AddTable(t *dataset.Table, cfg Config) (*Dataset, error) {
 	sessOpts := []client.Option{
 		client.WithOptLevel(opt),
 		client.WithSeed(cfg.Seed),
+	}
+	if cfg.ProcessParallelism != 0 {
+		sessOpts = append(sessOpts, client.WithProcessParallelism(cfg.ProcessParallelism))
 	}
 	if cfg.Metric != "" {
 		sessOpts = append(sessOpts, client.WithMetric(cfg.Metric))

@@ -215,6 +215,7 @@ func (s *Server) execute(w http.ResponseWriter, d *Dataset, zqlText string, inpu
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	d.recordProcess(res.Stats.Process)
 	writeJSON(w, http.StatusOK, QueryResponse{
 		Dataset: d.name,
 		ZQL:     echoZQL,

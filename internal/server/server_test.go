@@ -419,3 +419,47 @@ func TestRegistryOptConfig(t *testing.T) {
 		t.Error("bad opt name should error")
 	}
 }
+
+// TestProcessStatsFlowThroughServer pins the process-phase counters on both
+// surfaces: the per-request stats of a query response and the accumulated
+// per-dataset totals on /stats. The similarity query below runs a pruned
+// top-k search at the dataset's default (Inter-Task) level, so the response
+// must show tuples scored and distance calls made, and the totals must grow
+// with every request served.
+func TestProcessStatsFlowThroughServer(t *testing.T) {
+	// One process worker keeps the abandoned count deterministic (with a
+	// pool, how many calls abandon depends on how fast the bound tightens
+	// across workers); pruning itself is orthogonal to parallelism.
+	ts, reg := newTestServer(t, Config{ProcessParallelism: 1})
+	req := QueryRequest{
+		Dataset: "sales",
+		ZQL: `
+NAME | X      | Y         | Z                 | PROCESS
+-f1  |        |           |                   |
+f2   | 'year' | 'revenue' | v1 <- 'product'.* | v2 <- argmin(v1)[k=2] D(f1, f2)
+*f3  | 'year' | 'revenue' | v2                |`,
+		Inputs: map[string][]float64{"f1": {1, 2, 3, 4, 5, 6, 7, 8}},
+	}
+	env := postQuery(t, ts.URL+"/query", req)
+	if env.Stats.TuplesEvaluated == 0 || env.Stats.DistCalls == 0 {
+		t.Fatalf("response stats carry no process work: %+v", env.Stats)
+	}
+	if env.Stats.DistAbandoned == 0 {
+		t.Errorf("top-k search at Inter-Task pruned nothing: %+v", env.Stats)
+	}
+	first := reg.Get("sales").Stats().Process
+	if first.Tuples != env.Stats.TuplesEvaluated || first.DistCalls != env.Stats.DistCalls {
+		t.Errorf("/stats totals %+v do not match the served request %+v", first, env.Stats)
+	}
+	postQuery(t, ts.URL+"/query", req)
+	second := reg.Get("sales").Stats().Process
+	if second.Tuples != 2*first.Tuples || second.DistCalls != 2*first.DistCalls {
+		t.Errorf("totals after two requests = %+v, want double %+v", second, first)
+	}
+	// The O0 override must keep the oracle unpruned.
+	req.Opt = "o0"
+	oracle := postQuery(t, ts.URL+"/query", req)
+	if oracle.Stats.DistAbandoned != 0 {
+		t.Errorf("NoOpt run abandoned %d distance calls, want 0", oracle.Stats.DistAbandoned)
+	}
+}

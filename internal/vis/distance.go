@@ -3,10 +3,18 @@ package vis
 import (
 	"fmt"
 	"math"
+	"strconv"
 )
 
 // DistanceFunc measures dissimilarity between two equal-length series.
 type DistanceFunc func(a, b []float64) float64
+
+// BoundedDistanceFunc computes the same distance as its unbounded sibling
+// but may abandon early once the result provably exceeds bound. The boolean
+// is true when the call was abandoned; the value is then +Inf and only means
+// "greater than bound". When false, the value is bit-identical to the
+// unbounded kernel — the property the process-phase differential tests pin.
+type BoundedDistanceFunc func(a, b []float64, bound float64) (float64, bool)
 
 // Euclidean is the ℓ2 distance, the paper's default D for the task
 // processors (Section 7.2 uses ℓ2 for similarity search).
@@ -17,6 +25,28 @@ func Euclidean(a, b []float64) float64 {
 		s += d * d
 	}
 	return math.Sqrt(s)
+}
+
+// EuclideanBounded is Euclidean with early abandoning: squared differences
+// accumulate in the same order as the unbounded kernel, and the loop bails as
+// soon as the partial sum alone proves the distance exceeds bound. Partial
+// sums only grow, so abandoning is exact: a completed call returns the very
+// bits Euclidean would. The cheap squared comparison is confirmed in score
+// space (sqrt is monotone) before abandoning, so a distance exactly equal to
+// the bound always completes — bound² can round below the true squared
+// distance, and top-k ties at the k-th score must survive to be broken by
+// index. An infinite bound never abandons.
+func EuclideanBounded(a, b []float64, bound float64) (float64, bool) {
+	limit := bound * bound
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+		if s > limit && math.Sqrt(s) > bound {
+			return math.Inf(1), true
+		}
+	}
+	return math.Sqrt(s), false
 }
 
 // DTW is dynamic time warping with unconstrained warping window, the second
@@ -50,6 +80,76 @@ func DTW(a, b []float64) float64 {
 		prev, cur = cur, prev
 	}
 	return prev[m]
+}
+
+// DTWBounded is DTW constrained to a Sakoe-Chiba band of half-width window
+// (window < 0 means unconstrained) with row-wise early abandoning: every
+// warping path visits every row of the cost matrix and cell values along a
+// path never decrease, so once the minimum over a whole row exceeds bound the
+// final distance must too and the call returns (+Inf, true). With an
+// unconstrained window and no abandon the cell arithmetic matches DTW
+// operation for operation, so the result is bit-identical. The band widens to
+// the length difference so the end-to-end corner stays reachable.
+func DTWBounded(a, b []float64, window int, bound float64) (float64, bool) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1), false
+	}
+	w := window
+	if w < 0 {
+		w = n + m // unconstrained: the band covers the whole matrix
+	}
+	if d := m - n; d > 0 && w < d {
+		w = d
+	}
+	if d := n - m; d > 0 && w < d {
+		w = d
+	}
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = math.Inf(1)
+	}
+	for i := 1; i <= n; i++ {
+		lo, hi := i-w, i+w
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > m {
+			hi = m
+		}
+		// Only cells the band can read need resetting: this row reads
+		// cur[lo-1], and the next row's band shifts by at most one, so it
+		// reads prev over [lo-1, hi+1]. Anything further out is never
+		// touched, which keeps a narrow band O(n·w) instead of O(n·m).
+		cur[lo-1] = math.Inf(1)
+		if hi < m {
+			cur[hi+1] = math.Inf(1)
+		}
+		rowMin := math.Inf(1)
+		for j := lo; j <= hi; j++ {
+			cost := math.Abs(a[i-1] - b[j-1])
+			best := prev[j]
+			if prev[j-1] < best {
+				best = prev[j-1]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			if i == 1 && j == 1 {
+				best = 0
+			}
+			cur[j] = cost + best
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin > bound {
+			return math.Inf(1), true
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m], false
 }
 
 // KLDivergence converts both series into probability distributions (shifted
@@ -163,31 +263,75 @@ type Metric struct {
 	Name      string
 	Fn        DistanceFunc
 	Normalize bool
+	// Window is the Sakoe-Chiba band half-width for DTW metrics (0 =
+	// unconstrained). It is part of the metric's identity: the sequential
+	// oracle and the pruned executor see the same band, so pruning never
+	// changes results.
+	Window int
+	// Bounded, when set, computes the same distance as Fn but may abandon
+	// once the result provably exceeds the caller's bound — the hook the
+	// process phase's top-k search uses to skip hopeless candidates.
+	Bounded BoundedDistanceFunc
 }
 
 // DefaultMetric is z-normalized Euclidean distance.
-var DefaultMetric = Metric{Name: "euclidean", Fn: Euclidean, Normalize: true}
+var DefaultMetric = Metric{Name: "euclidean", Fn: Euclidean, Normalize: true, Bounded: EuclideanBounded}
 
 // MetricByName resolves a metric name used in ZQL process columns and CLI
 // flags: euclidean, dtw, kl, emd (each with a raw- prefix to skip
-// normalization).
+// normalization). DTW accepts a Sakoe-Chiba band half-width suffix, as in
+// "dtw:8". Euclidean and DTW carry early-abandoning bounded kernels; KL and
+// EMD need the whole series before anything is comparable, so they don't.
 func MetricByName(name string) (Metric, error) {
 	norm := true
 	if rest, ok := cutPrefix(name, "raw-"); ok {
 		norm = false
 		name = rest
 	}
+	if rest, ok := cutPrefix(name, "dtw:"); ok {
+		w, err := strconv.Atoi(rest)
+		if err != nil || w < 1 {
+			return Metric{}, fmt.Errorf("vis: bad DTW band width in %q (want dtw:N with N >= 1)", name)
+		}
+		return dtwMetric(norm, w), nil
+	}
 	switch name {
 	case "", "euclidean", "l2":
-		return Metric{Name: "euclidean", Fn: Euclidean, Normalize: norm}, nil
+		return Metric{Name: "euclidean", Fn: Euclidean, Normalize: norm, Bounded: EuclideanBounded}, nil
 	case "dtw":
-		return Metric{Name: "dtw", Fn: DTW, Normalize: norm}, nil
+		return dtwMetric(norm, 0), nil
 	case "kl":
 		return Metric{Name: "kl", Fn: KLDivergence, Normalize: norm}, nil
 	case "emd":
 		return Metric{Name: "emd", Fn: EMD1D, Normalize: norm}, nil
 	}
 	return Metric{}, fmt.Errorf("vis: unknown distance metric %q", name)
+}
+
+// dtwMetric builds the (possibly banded) DTW metric; window 0 means
+// unconstrained. Fn and Bounded share one kernel so their completed results
+// agree bit for bit.
+func dtwMetric(norm bool, window int) Metric {
+	w := window
+	if w == 0 {
+		w = -1
+	}
+	name := "dtw"
+	if window > 0 {
+		name = fmt.Sprintf("dtw:%d", window)
+	}
+	return Metric{
+		Name:      name,
+		Normalize: norm,
+		Window:    window,
+		Fn: func(a, b []float64) float64 {
+			d, _ := DTWBounded(a, b, w, math.Inf(1))
+			return d
+		},
+		Bounded: func(a, b []float64, bound float64) (float64, bool) {
+			return DTWBounded(a, b, w, bound)
+		},
+	}
 }
 
 func cutPrefix(s, prefix string) (string, bool) {
@@ -204,8 +348,36 @@ func cutPrefix(s, prefix string) (string, bool) {
 // positionally, resampling the shorter to the longer — the way the
 // front-end's drawing box maps a sketched polyline onto the chart's x-axis.
 func Distance(a, b *Visualization, m Metric) float64 {
+	va, vb := alignedVectors(a, b, m)
+	return m.Fn(va, vb)
+}
+
+// DistanceBounded is Distance with an early-abandoning cutoff: when the
+// metric carries a bounded kernel, the call may stop as soon as the distance
+// provably exceeds bound (returning +Inf, true). A completed call returns
+// exactly the bits Distance would — the guarantee that lets the top-k
+// process executor prune without changing results. Metrics without a bounded
+// kernel fall back to the full computation.
+func DistanceBounded(a, b *Visualization, m Metric, bound float64) (float64, bool) {
+	va, vb := alignedVectors(a, b, m)
+	if m.Bounded == nil || math.IsInf(bound, 1) {
+		return m.Fn(va, vb), false
+	}
+	return m.Bounded(va, vb, bound)
+}
+
+// alignedVectors aligns and normalizes the two visualizations the way
+// Distance documents.
+func alignedVectors(a, b *Visualization, m Metric) ([]float64, []float64) {
 	var va, vb []float64
-	if disjointDomains(a, b) {
+	if sameSortedDomain(a, b) {
+		// Identical ordered x sequences — the overwhelmingly common case for
+		// two visualizations of one query, whose points arrive sorted on the
+		// same group-by domain. Their y series already are the vectors the
+		// map-based union below would produce, at a fraction of the cost;
+		// this is the alignment half of the distance hot path.
+		va, vb = a.Ys(), b.Ys()
+	} else if disjointDomains(a, b) {
 		va, vb = a.Ys(), b.Ys()
 		n := len(va)
 		if len(vb) > n {
@@ -219,7 +391,28 @@ func Distance(a, b *Visualization, m Metric) float64 {
 	if m.Normalize {
 		va, vb = ZNormalize(va), ZNormalize(vb)
 	}
-	return m.Fn(va, vb)
+	return va, vb
+}
+
+// sameSortedDomain reports whether the two series carry an identical,
+// strictly ascending x sequence. Strict ascent rules out duplicate keys (and
+// NaN x values, which compare unordered), so the pairwise union the slow
+// path computes is exactly this sequence and the fast path is
+// result-identical.
+func sameSortedDomain(a, b *Visualization) bool {
+	if len(a.Points) == 0 || len(a.Points) != len(b.Points) {
+		return false
+	}
+	for i := range a.Points {
+		ax, bx := a.Points[i].X, b.Points[i].X
+		if ax != bx {
+			return false
+		}
+		if i > 0 && a.Points[i-1].X.Compare(ax) >= 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // disjointDomains reports whether the two visualizations share no x value.

@@ -108,13 +108,29 @@ func seedPlusPlus(vectors [][]float64, k int, rng *rand.Rand) [][]float64 {
 			centroids = append(centroids, append([]float64(nil), vectors[0]...))
 			continue
 		}
+		// Weighted pick. When rounding leaves target positive after the scan,
+		// fall back to the last positive-weight index — the point the exact
+		// arithmetic would have chosen — instead of silently duplicating
+		// vector 0.
 		target := rng.Float64() * total
-		idx := 0
+		idx := -1
 		for i, d := range dists {
 			target -= d
 			if target <= 0 {
 				idx = i
 				break
+			}
+		}
+		if idx < 0 {
+			// Also reached when every weight is NaN (NaN y-values poison
+			// sqDist and the total==0 guard), where no comparison ever
+			// fires; fall back to vector 0 rather than indexing with -1.
+			idx = 0
+			for i := len(dists) - 1; i >= 0; i-- {
+				if dists[i] > 0 {
+					idx = i
+					break
+				}
 			}
 		}
 		centroids = append(centroids, append([]float64(nil), vectors[idx]...))
@@ -238,10 +254,6 @@ func Outliers(vs []*Visualization, k int, m Metric, seed int64) []int {
 	if len(trends) == 0 {
 		trends = km.Centroids
 	}
-	type scored struct {
-		idx int
-		d   float64
-	}
 	scores := make([]scored, 0, len(vs))
 	for i := range vs {
 		minD := math.Inf(1)
@@ -252,24 +264,39 @@ func Outliers(vs []*Visualization, k int, m Metric, seed int64) []int {
 		}
 		scores = append(scores, scored{idx: i, d: minD})
 	}
-	// Partial selection sort for the top k by descending distance.
 	if k > len(scores) {
 		k = len(scores)
 	}
-	for i := 0; i < k; i++ {
-		best := i
-		for j := i + 1; j < len(scores); j++ {
-			if scores[j].d > scores[best].d {
-				best = j
-			}
-		}
-		scores[i], scores[best] = scores[best], scores[i]
-	}
+	selectTopDesc(scores, k)
 	out := make([]int, k)
 	for i := 0; i < k; i++ {
 		out[i] = scores[i].idx
 	}
 	return out
+}
+
+// selectTopDesc partially selection-sorts the first k entries by (distance
+// descending, index ascending). The index is an explicit tie-break: a plain
+// `>` selection over the swapped slice would order equal-distance entries by
+// whatever positions earlier swaps left them in, making outlier output for
+// tied candidates depend on selection history rather than input order.
+func selectTopDesc(scores []scored, k int) {
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(scores); j++ {
+			if scores[j].d > scores[best].d ||
+				(scores[j].d == scores[best].d && scores[j].idx < scores[best].idx) {
+				best = j
+			}
+		}
+		scores[i], scores[best] = scores[best], scores[i]
+	}
+}
+
+// scored pairs a visualization index with its outlier distance.
+type scored struct {
+	idx int
+	d   float64
 }
 
 // defaultRepresentativeK is the cluster count used inside outlier search;

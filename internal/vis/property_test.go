@@ -1,0 +1,247 @@
+package vis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the distance kernels and normalizers: randomized but
+// seeded, so failures reproduce.
+
+func randSeries(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64() * 10
+	}
+	return out
+}
+
+// propertyMetrics is every named metric the property suite sweeps.
+func propertyMetrics(t *testing.T) []Metric {
+	t.Helper()
+	var out []Metric
+	for _, name := range []string{"euclidean", "dtw", "dtw:4", "kl", "emd", "raw-euclidean", "raw-dtw"} {
+		m, err := MetricByName(name)
+		if err != nil {
+			t.Fatalf("MetricByName(%q): %v", name, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestMetricSymmetryAndNonNegativity(t *testing.T) {
+	for _, m := range propertyMetrics(t) {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 60; trial++ {
+				n := 2 + rng.Intn(40)
+				a, b := randSeries(rng, n), randSeries(rng, n)
+				dab, dba := m.Fn(a, b), m.Fn(b, a)
+				if dab < 0 || dba < 0 {
+					t.Fatalf("trial %d: negative distance %g / %g", trial, dab, dba)
+				}
+				if math.Abs(dab-dba) > 1e-9*(1+math.Abs(dab)) {
+					t.Fatalf("trial %d: asymmetric: d(a,b)=%g d(b,a)=%g", trial, dab, dba)
+				}
+				if self := m.Fn(a, a); self > 1e-9 {
+					t.Fatalf("trial %d: d(a,a)=%g, want ~0", trial, self)
+				}
+			}
+		})
+	}
+}
+
+func TestEuclideanBoundedAgreesWhenBoundNotHit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		a, b := randSeries(rng, n), randSeries(rng, n)
+		full := Euclidean(a, b)
+		// Bound at or above the true distance: must complete bit-identically.
+		for _, bound := range []float64{full, full * 1.5, math.Inf(1)} {
+			got, abandoned := EuclideanBounded(a, b, bound)
+			if abandoned {
+				t.Fatalf("trial %d: abandoned with bound %g >= distance %g", trial, bound, full)
+			}
+			if got != full {
+				t.Fatalf("trial %d: bounded %v != unbounded %v", trial, got, full)
+			}
+		}
+		// Bound strictly below: must abandon and report +Inf.
+		if full > 0 {
+			got, abandoned := EuclideanBounded(a, b, full*0.9)
+			if !abandoned || !math.IsInf(got, 1) {
+				t.Fatalf("trial %d: want abandon below bound, got (%v, %v)", trial, got, abandoned)
+			}
+		}
+	}
+}
+
+func TestDTWBoundedAgreesWhenBoundNotHit(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 120; trial++ {
+		n, m := 1+rng.Intn(32), 1+rng.Intn(32)
+		a, b := randSeries(rng, n), randSeries(rng, m)
+		full := DTW(a, b)
+		for _, bound := range []float64{full, full + 1, math.Inf(1)} {
+			got, abandoned := DTWBounded(a, b, -1, bound)
+			if abandoned {
+				t.Fatalf("trial %d: abandoned with bound %g >= distance %g", trial, bound, full)
+			}
+			if got != full {
+				t.Fatalf("trial %d: bounded %v != DTW %v", trial, got, full)
+			}
+		}
+		// Row-min abandoning is best-effort (the row minimum only lower-bounds
+		// the path cost), so a bound below the distance permits either
+		// outcome — but each must be self-consistent: an abandoned call
+		// reports +Inf, a completed one the exact distance.
+		if full > 0 {
+			got, abandoned := DTWBounded(a, b, -1, full*0.9)
+			if abandoned && !math.IsInf(got, 1) {
+				t.Fatalf("trial %d: abandoned but returned %v, want +Inf", trial, got)
+			}
+			if !abandoned && got != full {
+				t.Fatalf("trial %d: completed with %v, want exact DTW %v", trial, got, full)
+			}
+		}
+	}
+}
+
+func TestDTWBandWideningAndMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(24)
+		a, b := randSeries(rng, n), randSeries(rng, n)
+		full := DTW(a, b)
+		// A band at least as wide as the series is the unconstrained problem.
+		if got, _ := DTWBounded(a, b, n, math.Inf(1)); got != full {
+			t.Fatalf("trial %d: window %d (full width) = %v, want DTW %v", trial, n, got, full)
+		}
+		// Tightening the band only removes warping paths, so the distance is
+		// non-decreasing as the window shrinks.
+		prev := math.Inf(1)
+		for _, w := range []int{0, 1, 2, 4, 8, n} {
+			got, abandoned := DTWBounded(a, b, w, math.Inf(1))
+			if abandoned {
+				t.Fatalf("trial %d: infinite bound abandoned", trial)
+			}
+			if got > prev+1e-9 {
+				t.Fatalf("trial %d: window %d distance %v above narrower window's %v", trial, w, got, prev)
+			}
+			prev = got
+		}
+		if prev != full {
+			t.Fatalf("trial %d: widest band %v != DTW %v", trial, prev, full)
+		}
+	}
+}
+
+func TestNormalizationIdempotence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cases := [][]float64{
+		{}, {3}, {5, 5, 5, 5}, // degenerate: empty, singleton, constant
+	}
+	for trial := 0; trial < 40; trial++ {
+		cases = append(cases, randSeries(rng, 1+rng.Intn(50)))
+	}
+	for i, xs := range cases {
+		t.Run(fmt.Sprintf("case%d", i), func(t *testing.T) {
+			once := ZNormalize(xs)
+			twice := ZNormalize(once)
+			for j := range once {
+				if math.Abs(twice[j]-once[j]) > 1e-9 {
+					t.Fatalf("ZNormalize not idempotent at %d: %v vs %v", j, twice[j], once[j])
+				}
+			}
+			mm := MinMaxNormalize(xs)
+			mm2 := MinMaxNormalize(mm)
+			for j := range mm {
+				if mm2[j] != mm[j] {
+					t.Fatalf("MinMaxNormalize not idempotent at %d: %v vs %v", j, mm2[j], mm[j])
+				}
+			}
+		})
+	}
+}
+
+// TestSelectTopDescStableTies is the regression test for the outlier
+// selection fix: equal distances must order by ascending index, not by
+// whatever positions earlier swaps left the tied entries in. The scores
+// below are the minimal pattern where the old swap-based selection emitted
+// index 2 before index 0.
+func TestSelectTopDescStableTies(t *testing.T) {
+	scores := []scored{{idx: 0, d: 5}, {idx: 1, d: 9}, {idx: 2, d: 5}, {idx: 3, d: 9}}
+	selectTopDesc(scores, 4)
+	want := []int{1, 3, 0, 2}
+	for i, w := range want {
+		if scores[i].idx != w {
+			got := make([]int, len(scores))
+			for j, s := range scores {
+				got[j] = s.idx
+			}
+			t.Fatalf("selection order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestOutliersStableWithDuplicateShapes pins end-to-end determinism for tied
+// candidates: duplicate shapes score identical outlier distances, so
+// whenever two of them are both selected they must appear in ascending index
+// order, and the whole result must repeat run after run.
+func TestOutliersStableWithDuplicateShapes(t *testing.T) {
+	flat := []float64{1, 1, 1, 1, 1, 2}
+	spike := []float64{0, 9, 0, 9, 0, 9}
+	shapes := [][]float64{flat, spike, flat, spike, flat, flat, flat, flat}
+	var vs []*Visualization
+	for _, ys := range shapes {
+		vs = append(vs, FromFloats(ys))
+	}
+	sameShape := func(i, j int) bool {
+		for p := range shapes[i] {
+			if shapes[i][p] != shapes[j][p] {
+				return false
+			}
+		}
+		return true
+	}
+	m := DefaultMetric
+	first := Outliers(vs, 3, m, 42)
+	if len(first) != 3 {
+		t.Fatalf("got %d outliers, want 3", len(first))
+	}
+	for a := 0; a < len(first); a++ {
+		for b := a + 1; b < len(first); b++ {
+			if sameShape(first[a], first[b]) && first[a] > first[b] {
+				t.Errorf("outliers = %v: tied duplicates %d and %d out of index order", first, first[a], first[b])
+			}
+		}
+	}
+	for run := 0; run < 20; run++ {
+		got := Outliers(vs, 3, m, 42)
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("run %d: outliers = %v, want %v (deterministic)", run, got, first)
+			}
+		}
+	}
+}
+
+// TestRepresentativeSurvivesNaNSeries pins the k-means++ fallback: NaN
+// y-values poison every seeding weight, and the weighted pick must fall back
+// to a valid index instead of panicking.
+func TestRepresentativeSurvivesNaNSeries(t *testing.T) {
+	nan := math.NaN()
+	var vs []*Visualization
+	for i := 0; i < 6; i++ {
+		vs = append(vs, FromFloats([]float64{nan, nan, nan, nan}))
+	}
+	got := Representative(vs, 3, Metric{Name: "euclidean", Fn: Euclidean}, 42)
+	if len(got) != 3 {
+		t.Fatalf("got %d representatives, want 3", len(got))
+	}
+}

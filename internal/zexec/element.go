@@ -1,6 +1,8 @@
 package zexec
 
 import (
+	"sync"
+
 	"repro/internal/vis"
 	"repro/internal/zql"
 )
@@ -77,33 +79,33 @@ type Collection struct {
 	// loop assignment (the -f1 rows of Tables 2.2, 3.14, 3.21).
 	wildcard bool
 
-	// Lazily computed matching metadata (see ensureMeta).
-	metaOnce      bool
+	// Lazily computed matching metadata (see ensureMeta). Guarded by a
+	// sync.Once because parallel process workers call matches concurrently.
+	metaOnce      sync.Once
 	comboVars     map[string]bool
 	iteratedAttrs map[string]bool
 	iteratedKinds map[elemKind]bool
 }
 
 // ensureMeta computes which variables and slots the collection iterates.
-// Combos are immutable after construction, so this runs once.
+// Combos are immutable after construction, so this runs once; concurrent
+// callers block until the maps are published.
 func (c *Collection) ensureMeta() {
-	if c.metaOnce {
-		return
-	}
-	c.metaOnce = true
-	c.comboVars = make(map[string]bool)
-	c.iteratedAttrs = make(map[string]bool)
-	c.iteratedKinds = make(map[elemKind]bool)
-	for _, combo := range c.combos {
-		for name, e := range combo {
-			c.comboVars[name] = true
-			if e.kind == elemZ {
-				c.iteratedAttrs[e.attr] = true
-			} else {
-				c.iteratedKinds[e.kind] = true
+	c.metaOnce.Do(func() {
+		c.comboVars = make(map[string]bool)
+		c.iteratedAttrs = make(map[string]bool)
+		c.iteratedKinds = make(map[elemKind]bool)
+		for _, combo := range c.combos {
+			for name, e := range combo {
+				c.comboVars[name] = true
+				if e.kind == elemZ {
+					c.iteratedAttrs[e.attr] = true
+				} else {
+					c.iteratedKinds[e.kind] = true
+				}
 			}
 		}
-	}
+	})
 }
 
 // sameSlot reports whether two elements constrain the same aspect of a

@@ -1,0 +1,185 @@
+package zexec
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/vis"
+	"repro/internal/zql"
+)
+
+// The golden corpus is the differential oracle for the process-phase
+// executor: every script under testdata/zql runs at every optimization level
+// (NoOpt is the sequential, unpruned reference), on both store back-ends,
+// and with the worker pool forced on and pruning toggled — and every
+// configuration must render byte-identically to the checked-in golden file.
+//
+// Regenerate goldens (from the row-store O0 oracle) after an intentional
+// result change:
+//
+//	go test ./internal/zexec -run TestGoldenCorpus -update
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files from the row-store NoOpt oracle")
+
+// goldenCase binds one script to its dataset fixture and user inputs.
+type goldenCase struct {
+	file   string
+	table  func() *dataset.Table
+	inputs map[string]*vis.Visualization
+}
+
+func drawnInput() map[string]*vis.Visualization {
+	return map[string]*vis.Visualization{
+		"f1": vis.FromFloats([]float64{0, 1, 2, 3, 4, 5}),
+	}
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{file: "similarity_topk.zql", table: fixtureSales, inputs: drawnInput()},
+		{file: "dissimilarity_topk.zql", table: fixtureSales, inputs: drawnInput()},
+		{file: "representative.zql", table: fixtureSales},
+		{file: "outlier_two_level.zql", table: fixtureSales},
+		{file: "threshold_rising.zql", table: fixtureSales},
+		{file: "threshold_falling.zql", table: fixtureSales},
+		{file: "multirow_pipeline.zql", table: fixtureSales},
+		{file: "order_all.zql", table: fixtureSales},
+		{file: "multi_output.zql", table: fixtureSales, inputs: drawnInput()},
+		{file: "axis_loop.zql", table: fixtureSales, inputs: drawnInput()},
+		{file: "inner_sum.zql", table: fixtureSales},
+		{file: "set_algebra.zql", table: fixtureSales},
+		{file: "subset_topk.zql", table: fixtureSales},
+		{file: "airline_dissimilar.zql", table: fixtureAirline},
+		{file: "airline_rising.zql", table: fixtureAirline},
+	}
+}
+
+// goldenVariant is one executor configuration of the differential matrix.
+type goldenVariant struct {
+	name string
+	opts func(o *Options)
+}
+
+func goldenVariants() []goldenVariant {
+	vars := []goldenVariant{
+		{"noopt", func(o *Options) { o.Opt = NoOpt }},
+		{"intraline", func(o *Options) { o.Opt = IntraLine }},
+		{"intratask", func(o *Options) { o.Opt = IntraTask }},
+		{"intertask", func(o *Options) { o.Opt = InterTask }},
+		// Force the worker pool on even on one core, and exercise the
+		// pruned/unpruned pair explicitly.
+		{"intertask-par4", func(o *Options) { o.Opt = InterTask; o.ProcessParallelism = 4 }},
+		{"intertask-par4-noprune", func(o *Options) {
+			o.Opt = InterTask
+			o.ProcessParallelism = 4
+			o.ProcessNoPrune = true
+		}},
+	}
+	return vars
+}
+
+// encodeResult renders a result deterministically for byte comparison:
+// outputs with full point data, then bindings in sorted name order. SQLLog
+// is deliberately excluded — the SQL issued differs by design across levels;
+// the paper's invariant is that results don't.
+func encodeResult(res *Result) string {
+	var b strings.Builder
+	for i, out := range res.Outputs {
+		fmt.Fprintf(&b, "output %d (%d visualizations)\n", i+1, out.Len())
+		for _, v := range out.Vis {
+			b.WriteString("  ")
+			b.WriteString(v.Label())
+			if v.VizType != "" {
+				b.WriteString(" viz=")
+				b.WriteString(v.VizType)
+			}
+			b.WriteByte('\n')
+			b.WriteString("   ")
+			for _, p := range v.Points {
+				fmt.Fprintf(&b, " (%s, %s)", p.X.String(), strconv.FormatFloat(p.Y, 'g', -1, 64))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	names := make([]string, 0, len(res.Bindings))
+	for n := range res.Bindings {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "bind %s = %s\n", n, strings.Join(res.Bindings[n], ", "))
+	}
+	return b.String()
+}
+
+func runGolden(t *testing.T, src string, db engine.DB, gc goldenCase, mutate func(o *Options)) string {
+	t.Helper()
+	q, err := zql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %s: %v", gc.file, err)
+	}
+	opts := Options{Table: gc.table().Name, Seed: 42, Inputs: gc.inputs}
+	mutate(&opts)
+	res, err := Run(q, db, opts)
+	if err != nil {
+		t.Fatalf("run %s: %v", gc.file, err)
+	}
+	return encodeResult(res)
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(strings.TrimSuffix(gc.file, ".zql"), func(t *testing.T) {
+			srcBytes, err := os.ReadFile(filepath.Join("testdata", "zql", gc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(srcBytes)
+			goldenPath := filepath.Join("testdata", "zql", strings.TrimSuffix(gc.file, ".zql")+".golden")
+			tbl := gc.table()
+			if *updateGolden {
+				got := runGolden(t, src, engine.NewRowStore(tbl), gc, func(o *Options) { o.Opt = NoOpt })
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to generate): %v", err)
+			}
+			backends := map[string]engine.DB{
+				"row":    engine.NewRowStore(tbl),
+				"bitmap": engine.NewBitmapStore(tbl),
+			}
+			for _, backend := range []string{"row", "bitmap"} {
+				db := backends[backend]
+				for _, gv := range goldenVariants() {
+					t.Run(backend+"/"+gv.name, func(t *testing.T) {
+						got := runGolden(t, src, db, gc, gv.opts)
+						if got != string(want) {
+							t.Errorf("result differs from golden\n--- got ---\n%s\n--- want ---\n%s", clip(got), clip(string(want)))
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// clip keeps failure output readable for big results.
+func clip(s string) string {
+	const max = 4000
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "\n... (clipped)"
+}

@@ -128,31 +128,67 @@ func (ex *executor) iterateVars(vars []string, base map[string]element, fn func(
 	}
 }
 
-// runProcess executes one process declaration of a row.
+// runProcess executes one process declaration of a row. Tuples are
+// materialized first, then scored — sequentially at NoOpt (the differential
+// oracle), across the worker pool otherwise — and argmin/argmax [k=...]
+// declarations take the pruned top-k path. Every path yields the same kept
+// tuples in the same order.
 func (ex *executor) runProcess(rs *rowState, d *zql.ProcessDecl) error {
 	if d.Mech == zql.MechR {
 		return ex.runR(d)
 	}
-	var tuples []loopTuple
-	err := ex.iterateVars(d.LoopVars, nil, func(assign map[string]element, elems []element) error {
-		score, err := ex.evalInner(d, 0, assign)
-		if err != nil {
-			return fmt.Errorf("line %d: %w", rs.row.Line, err)
-		}
-		tuples = append(tuples, loopTuple{assign: assign, elems: elems, score: score})
-		return nil
-	})
+	tuples, err := ex.collectTuples(d)
 	if err != nil {
 		return err
 	}
-	// Sort: argmin ascending, argmax descending; argany keeps input order.
-	switch d.Mech {
-	case zql.MechArgmin:
-		sort.SliceStable(tuples, func(i, j int) bool { return tuples[i].score < tuples[j].score })
-	case zql.MechArgmax:
-		sort.SliceStable(tuples, func(i, j int) bool { return tuples[i].score > tuples[j].score })
+	var kept []loopTuple
+	if k, ok := ex.topKPrunable(d, len(tuples)); ok {
+		kept, err = ex.evalTopK(d, tuples, k)
+	} else {
+		kept, err = ex.evalRankFilter(d, tuples)
 	}
-	// Filter.
+	if err != nil {
+		return fmt.Errorf("line %d: %w", rs.row.Line, err)
+	}
+	ex.bindOutputs(d.OutVars, kept)
+	return nil
+}
+
+// collectTuples materializes the declaration's loop assignments in iteration
+// order; scoring happens separately so it can fan across workers.
+func (ex *executor) collectTuples(d *zql.ProcessDecl) ([]loopTuple, error) {
+	var tuples []loopTuple
+	err := ex.iterateVars(d.LoopVars, nil, func(assign map[string]element, elems []element) error {
+		tuples = append(tuples, loopTuple{assign: assign, elems: elems})
+		return nil
+	})
+	return tuples, err
+}
+
+// evalRankFilter scores every tuple, then applies the declaration's sort and
+// filter exactly the way the sequential executor always has: argmin
+// ascending, argmax descending (both stable), argany in input order; [k=...]
+// truncates, [t...] thresholds.
+func (ex *executor) evalRankFilter(d *zql.ProcessDecl, tuples []loopTuple) ([]loopTuple, error) {
+	err := ex.forEachTuple(len(tuples), func(i int) error {
+		ex.proc.tuples.Add(1)
+		score, err := ex.evalInner(d, 0, tuples[i].assign)
+		if err != nil {
+			return err
+		}
+		tuples[i].score = score
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch d.Mech {
+	case zql.MechArgmin, zql.MechArgmax:
+		argmax := d.Mech == zql.MechArgmax
+		sort.SliceStable(tuples, func(i, j int) bool {
+			return scoreBetter(argmax, tuples[i].score, tuples[j].score)
+		})
+	}
 	var kept []loopTuple
 	switch d.Filter {
 	case zql.FilterK:
@@ -170,8 +206,7 @@ func (ex *executor) runProcess(rs *rowState, d *zql.ProcessDecl) error {
 	default:
 		kept = tuples
 	}
-	ex.bindOutputs(d.OutVars, kept)
-	return nil
+	return kept, nil
 }
 
 func thresholdOK(score float64, op string, val float64) bool {
@@ -276,6 +311,7 @@ func (ex *executor) evalLeaf(e *zql.ObjExpr, assign map[string]element) (float64
 		if err != nil {
 			return 0, err
 		}
+		ex.proc.distCalls.Add(1)
 		return vis.Distance(v1, v2, ex.opts.Metric), nil
 	case zql.ObjU:
 		fn, ok := ex.opts.UserFuncs[e.User]

@@ -36,6 +36,7 @@ type executor struct {
 	colls    map[string]*Collection
 	sqlLog   []string
 	stats    Stats
+	proc     processCounters // process-phase work; atomic: workers share it
 }
 
 // varDefined reports whether an axis variable has a binding yet.

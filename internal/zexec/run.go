@@ -33,6 +33,7 @@ func (ex *executor) run() (*Result, error) {
 		return nil, err
 	}
 	ex.stats.RowsScanned = ex.db.Counters().RowsScanned - scannedBefore
+	ex.stats.Process = ex.proc.snapshot()
 	return ex.assemble(), nil
 }
 
