@@ -136,7 +136,7 @@ func BenchmarkFig75(b *testing.B) {
 			zCard = 2
 		}
 		tb := workload.GroupSweep(100000, zCard, 10, 13)
-		stores := []engine.DB{engine.NewRowStore(tb), engine.NewBitmapStore(tb)}
+		stores := []engine.DB{engine.NewRowStore(tb), engine.NewBitmapStore(tb), engine.NewColumnStore(tb)}
 		for _, sel := range []string{"10", "100"} {
 			sql := "SELECT x, SUM(y) AS s, z FROM sweep GROUP BY z, x ORDER BY z, x"
 			if sel == "10" {
@@ -157,7 +157,7 @@ func BenchmarkFig75(b *testing.B) {
 
 // BenchmarkFig75Census regenerates Figure 7.5 (c) on census-like data.
 func BenchmarkFig75Census(b *testing.B) {
-	stores := []engine.DB{engine.NewRowStore(census()), engine.NewBitmapStore(census())}
+	stores := []engine.DB{engine.NewRowStore(census()), engine.NewBitmapStore(census()), engine.NewColumnStore(census())}
 	sql := "SELECT age, SUM(wage_per_hour) AS s, occupation FROM census WHERE workclass = 'Federal' AND marital_status != 'Widowed' GROUP BY occupation, age ORDER BY occupation, age"
 	for _, db := range stores {
 		b.Run(db.Name(), func(b *testing.B) {
@@ -321,10 +321,10 @@ func batchPlans(b *testing.B, db engine.DB, tb *dataset.Table, n int) []*engine.
 
 // BenchmarkBatchVsSequential measures the shared-scan win of ExecuteBatch:
 // the same 32-query aggregate batch run as a sequential Execute loop versus
-// one ExecuteBatch request, on both back-ends.
+// one ExecuteBatch request, on all three back-ends.
 func BenchmarkBatchVsSequential(b *testing.B) {
 	tb := workload.GroupSweep(100000, 64, 10, 11)
-	for _, db := range []engine.DB{engine.NewRowStore(tb), engine.NewBitmapStore(tb)} {
+	for _, db := range []engine.DB{engine.NewRowStore(tb), engine.NewBitmapStore(tb), engine.NewColumnStore(tb)} {
 		plans := batchPlans(b, db, tb, 32)
 		b.Run(db.Name()+"/Sequential", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -341,6 +341,31 @@ func BenchmarkBatchVsSequential(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkColumnVsRowClusteredBatch is the zone-map headline: the same
+// 32-query per-slice aggregate batch as BenchmarkBatchVsSequential, but over
+// z-clustered data (the layout of per-tenant or time-ordered loads), on the
+// row store versus the column store. Each plan's z-equality conjunct proves
+// all but its own segments empty, so the column store touches ~1/32 of the
+// (plan, segment) space; segskip/op and rows/op report the counters.
+func BenchmarkColumnVsRowClusteredBatch(b *testing.B) {
+	tb := workload.GroupSweepClustered(100000, 64, 10, 11)
+	for _, db := range []engine.DB{engine.NewRowStore(tb), engine.NewColumnStore(tb)} {
+		plans := batchPlans(b, db, tb, 32)
+		b.Run(db.Name(), func(b *testing.B) {
+			before := db.Counters()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.ExecuteBatch(plans); err != nil {
+					b.Fatal(err)
+				}
+			}
+			after := db.Counters()
+			b.ReportMetric(float64(after.SegmentsSkipped-before.SegmentsSkipped)/float64(b.N), "segskip/op")
+			b.ReportMetric(float64(after.RowsScanned-before.RowsScanned)/float64(b.N), "rows/op")
 		})
 	}
 }

@@ -53,7 +53,7 @@ const DefaultHistoryLimit = 256
 type Option func(*config) error
 
 type config struct {
-	bitmap    bool
+	backend   string
 	opt       zexec.OptLevel
 	metric    vis.Metric
 	seed      int64
@@ -61,13 +61,30 @@ type config struct {
 	histLimit int
 }
 
-// WithBitmapBackend selects the roaring-bitmap column store instead of the
-// default row store.
-func WithBitmapBackend() Option {
+// WithBackend selects the storage back-end by name: "row" (the default
+// full-scan executor), "bitmap" (roaring-bitmap indexes), or "column" (the
+// segmented vectorized executor with zone-map skipping).
+func WithBackend(name string) Option {
 	return func(c *config) error {
-		c.bitmap = true
-		return nil
+		switch name {
+		case "", "row", "bitmap", "column":
+			c.backend = name
+			return nil
+		}
+		return fmt.Errorf("client: unknown backend %q (want row, bitmap, or column)", name)
 	}
+}
+
+// WithBitmapBackend selects the roaring-bitmap store instead of the default
+// row store; it is shorthand for WithBackend("bitmap").
+func WithBitmapBackend() Option {
+	return WithBackend("bitmap")
+}
+
+// WithColumnBackend selects the columnar vectorized store instead of the
+// default row store; it is shorthand for WithBackend("column").
+func WithColumnBackend() Option {
+	return WithBackend("column")
 }
 
 // WithOptLevel sets the SQL batching level (default Inter-Task, the
@@ -138,9 +155,12 @@ func Open(t *dataset.Table, opts ...Option) (*Session, error) {
 		return nil, err
 	}
 	var db engine.DB
-	if cfg.bitmap {
+	switch cfg.backend {
+	case "bitmap":
 		db = engine.NewBitmapStore(t)
-	} else {
+	case "column":
+		db = engine.NewColumnStore(t)
+	default:
 		db = engine.NewRowStore(t)
 	}
 	return &Session{db: db, table: t.Name, opt: cfg.opt, metric: cfg.metric, seed: cfg.seed, pworkers: cfg.pworkers, histLimit: cfg.histLimit}, nil
@@ -148,8 +168,8 @@ func Open(t *dataset.Table, opts ...Option) (*Session, error) {
 
 // OpenDB starts a session over an existing back-end — the path the query
 // server uses to share one store (wrapped in its cache and coalescer) across
-// every request. The WithBitmapBackend option is meaningless here: the
-// back-end is already built.
+// every request. The backend-selection options (WithBackend and friends) are
+// meaningless here: the back-end is already built.
 func OpenDB(db engine.DB, table string, opts ...Option) (*Session, error) {
 	cfg, err := newConfig(opts)
 	if err != nil {

@@ -82,6 +82,41 @@ func TestOptions(t *testing.T) {
 	}
 }
 
+// TestBackendOptions runs the same query through every back-end name and
+// checks the sessions agree; backend selection must never change results.
+func TestBackendOptions(t *testing.T) {
+	tbl := workload.Sales(workload.SalesConfig{Rows: 2000, Products: 4, Years: 5, Cities: 2, Seed: 2})
+	ref, err := Open(tbl, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Query(risingQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []string{"row", "bitmap", "column"} {
+		s, err := Open(tbl, WithBackend(backend), WithSeed(3))
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		res, err := s.Query(risingQuery)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if len(res.Outputs) != len(want.Outputs) || res.Outputs[0].Len() != want.Outputs[0].Len() {
+			t.Errorf("%s: outputs differ from row store", backend)
+		}
+		for i, v := range res.Outputs[0].Vis {
+			if v.Label() != want.Outputs[0].Vis[i].Label() {
+				t.Errorf("%s: output %d = %q, want %q", backend, i, v.Label(), want.Outputs[0].Vis[i].Label())
+			}
+		}
+	}
+	if _, err := Open(tbl, WithBackend("quantum")); err == nil {
+		t.Error("unknown backend should error")
+	}
+}
+
 func TestRecommend(t *testing.T) {
 	s := testTable()
 	recs, err := s.Recommend("year", "revenue", "product", 3)

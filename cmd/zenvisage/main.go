@@ -41,7 +41,7 @@ func main() {
 		tableName = flag.String("table", "data", "table name for -data")
 		demo      = flag.String("demo", "", "built-in demo dataset: sales, airline, census, housing")
 		queryPath = flag.String("query", "", "ZQL query file ('-' for stdin)")
-		backend   = flag.String("backend", "row", "storage back-end: row or bitmap")
+		backend   = flag.String("backend", "row", "storage back-end: row, bitmap, or column")
 		optLevel  = flag.String("opt", "intertask", "optimization level: noopt, intraline, intratask, intertask (or o0..o3)")
 		metric    = flag.String("metric", "euclidean", "distance metric D: euclidean, dtw, kl, emd (raw- prefix skips normalization)")
 		recFlag   = flag.String("recommend", "", "recommendation request x:y:z instead of a query")
@@ -69,8 +69,10 @@ func main() {
 		db = engine.NewRowStore(tbl)
 	case "bitmap":
 		db = engine.NewBitmapStore(tbl)
+	case "column":
+		db = engine.NewColumnStore(tbl)
 	default:
-		log.Fatalf("unknown -backend %q", *backend)
+		log.Fatalf("unknown -backend %q (want row, bitmap, or column)", *backend)
 	}
 	m, err := vis.MetricByName(*metric)
 	if err != nil {
@@ -136,6 +138,9 @@ func main() {
 	if *showStats {
 		fmt.Printf("\nstats: %d SQL queries in %d requests; %d rows scanned; query time %v, process time %v\n",
 			res.Stats.SQLQueries, res.Stats.Requests, res.Stats.RowsScanned, res.Stats.QueryTime, res.Stats.ProcessTime)
+		if res.Stats.SegmentsSkipped > 0 {
+			fmt.Printf("zone maps: %d segments skipped\n", res.Stats.SegmentsSkipped)
+		}
 		p := res.Stats.Process
 		fmt.Printf("process: %d tuples scored; %d distance calls, %d abandoned by pruning\n",
 			p.Tuples, p.DistCalls, p.DistAbandoned)

@@ -44,7 +44,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8421", "listen address")
 		demos    = flag.String("demo", "", "comma-separated built-in demo datasets: sales, airline, census, housing")
-		backend  = flag.String("backend", "row", "storage back-end for every dataset: row or bitmap")
+		backend  = flag.String("backend", "row", "storage back-end for every dataset: row, bitmap, or column")
 		cache    = flag.Int("cache", server.DefaultCacheEntries, "result cache entries per dataset (negative disables)")
 		workers  = flag.Int("workers", 1, "coalescing workers per dataset (1 maximizes shared scans)")
 		pworkers = flag.Int("process-workers", 0, "process-phase worker goroutines per query (0 = auto)")

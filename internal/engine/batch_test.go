@@ -91,7 +91,7 @@ func assertSameResult(t *testing.T, label string, got, want *Result) {
 func TestExecuteBatchMatchesExecute(t *testing.T) {
 	tb := salesTable()
 	sqls := genWorkload(23, 64)
-	for _, db := range bothStores(tb) {
+	for _, db := range allStores(tb) {
 		plans := mustPrepareAll(t, db, sqls)
 		batch, err := db.ExecuteBatch(plans)
 		if err != nil {
@@ -164,7 +164,7 @@ func TestExecuteBatchParallelismOne(t *testing.T) {
 // leak state between runs.
 func TestPlanReuse(t *testing.T) {
 	tb := salesTable()
-	for _, db := range bothStores(tb) {
+	for _, db := range allStores(tb) {
 		q, err := minisql.Parse("SELECT year, SUM(sales) AS s FROM sales WHERE product = 'chair' GROUP BY year ORDER BY year")
 		if err != nil {
 			t.Fatal(err)
@@ -246,7 +246,7 @@ func TestExecuteBatchMultiTable(t *testing.T) {
 // is NULL.
 func TestEmptyMatchAggregates(t *testing.T) {
 	tb := salesTable()
-	for _, db := range bothStores(tb) {
+	for _, db := range allStores(tb) {
 		res, err := db.ExecuteSQL("SELECT COUNT(*) AS n, SUM(sales) AS s, MIN(sales) AS lo, MAX(sales) AS hi, AVG(sales) AS a FROM sales WHERE product = 'nothing'")
 		if err != nil {
 			t.Fatal(err)
@@ -270,7 +270,7 @@ func TestEmptyMatchAggregates(t *testing.T) {
 // queries — validation happens once, before any execution.
 func TestPrepareValidation(t *testing.T) {
 	tb := salesTable()
-	for _, db := range bothStores(tb) {
+	for _, db := range allStores(tb) {
 		for _, bad := range []string{
 			"SELECT a FROM nope",
 			"SELECT nope FROM sales",

@@ -1,0 +1,610 @@
+package engine
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/minisql"
+)
+
+// segmentSize is the number of rows per column-store segment: the unit of
+// zone-map granularity and of vectorized predicate evaluation. 4096 rows
+// keeps a segment's selection bitmap at 64 words and a segment's worth of
+// one float64 column inside L1/L2.
+const segmentSize = 4096
+
+// ColumnStore is a columnar vectorized executor over internal/dataset's
+// native layout (dictionary codes plus raw measure slices). Each table is
+// partitioned into fixed-size segments with precomputed zone maps — min/max
+// per numeric column and a dictionary-code presence bitset per categorical
+// column. Predicates are compiled (at Prepare time) into vecFilters that
+// evaluate a whole segment into a selection bitmap, skipping segments the
+// zone maps prove empty, and group-by aggregation over categorical keys runs
+// through flat per-group accumulator arrays indexed by dictionary code
+// instead of a hash map.
+//
+// ExecuteBatch mirrors the bitmap store's conjunct factoring: plans sharing
+// top-level WHERE conjuncts (the repeated constraints of a ZQL request
+// batch) have each shared conjunct's per-segment selection computed once per
+// scan worker and intersected per plan.
+type ColumnStore struct {
+	parLimit
+	tables map[string]*dataset.Table
+	cols   map[string]*colTable
+	stats  counters
+}
+
+// colTable is the segmented view of one base table.
+type colTable struct {
+	t        *dataset.Table
+	nseg     int
+	zones    map[string]*colZone    // by column name
+	intCodes map[string]*intCodeCol // low-cardinality int columns, by name
+}
+
+// maxIntCodeCardinality bounds the distinct-value count an integer column
+// may have and still get a build-time dictionary encoding (the same 4096 the
+// bitmap store uses for its integer value indexes). Encoded columns let the
+// flat group-by accumulator treat integer keys like categorical ones.
+const maxIntCodeCardinality = 4096
+
+// intCodeCol is a build-time dictionary encoding of an integer column:
+// codes[i] indexes into the sorted distinct values vals.
+type intCodeCol struct {
+	codes []int32
+	vals  []int64
+}
+
+// colZone holds one column's per-segment zone maps. Numeric columns carry
+// min/max plus a NaN-presence flag (NaN compares false with everything, so
+// it never lands in min/max — but it still matches != predicates);
+// categorical columns carry a presence bitset over dictionary codes (words
+// words per segment).
+type colZone struct {
+	min, max []float64
+	nan      []bool
+	words    int
+	present  []uint64 // nseg * words
+}
+
+func (z *colZone) hasCode(s int, code int32) bool {
+	return z.present[s*z.words+int(code>>6)]&(1<<(uint(code)&63)) != 0
+}
+
+// onlyCode reports whether code is the only dictionary code present in
+// segment s.
+func (z *colZone) onlyCode(s int, code int32) bool {
+	base := s * z.words
+	for w := 0; w < z.words; w++ {
+		p := z.present[base+w]
+		if w == int(code>>6) {
+			p &^= 1 << (uint(code) & 63)
+		}
+		if p != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// anyCode reports whether any code of the want bitset occurs in segment s.
+func (z *colZone) anyCode(s int, want []uint64) bool {
+	base := s * z.words
+	for w := 0; w < z.words; w++ {
+		if z.present[base+w]&want[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// newColTable partitions t into segments and builds every column's zone map.
+func newColTable(t *dataset.Table) *colTable {
+	n := t.NumRows()
+	nseg := (n + segmentSize - 1) / segmentSize
+	ct := &colTable{
+		t:        t,
+		nseg:     nseg,
+		zones:    make(map[string]*colZone, t.NumCols()),
+		intCodes: make(map[string]*intCodeCol),
+	}
+	for _, c := range t.Columns() {
+		if c.Field.Kind == dataset.KindInt {
+			if ic := encodeIntColumn(c); ic != nil {
+				ct.intCodes[c.Field.Name] = ic
+			}
+		}
+		z := &colZone{}
+		if c.Field.Kind == dataset.KindString {
+			z.words = (c.Cardinality() + 63) / 64
+			if z.words == 0 {
+				z.words = 1
+			}
+			z.present = make([]uint64, nseg*z.words)
+			for i, code := range c.Codes() {
+				z.present[(i/segmentSize)*z.words+int(code>>6)] |= 1 << (uint(code) & 63)
+			}
+		} else {
+			z.min = make([]float64, nseg)
+			z.max = make([]float64, nseg)
+			z.nan = make([]bool, nseg)
+			for s := 0; s < nseg; s++ {
+				z.min[s] = math.Inf(1)
+				z.max[s] = math.Inf(-1)
+			}
+			update := func(i int, v float64) {
+				s := i / segmentSize
+				if v != v {
+					z.nan[s] = true
+					return
+				}
+				if v < z.min[s] {
+					z.min[s] = v
+				}
+				if v > z.max[s] {
+					z.max[s] = v
+				}
+			}
+			if c.Field.Kind == dataset.KindInt {
+				for i, v := range c.Ints() {
+					update(i, float64(v))
+				}
+			} else {
+				for i, v := range c.Floats() {
+					update(i, v)
+				}
+			}
+		}
+		ct.zones[c.Field.Name] = z
+	}
+	return ct
+}
+
+// encodeIntColumn builds the dictionary encoding of an integer column, or
+// nil when the column has too many distinct values to be worth it.
+func encodeIntColumn(c *dataset.Column) *intCodeCol {
+	distinct := c.DistinctSorted()
+	if len(distinct) > maxIntCodeCardinality {
+		return nil
+	}
+	ic := &intCodeCol{vals: make([]int64, len(distinct))}
+	codeOf := make(map[int64]int32, len(distinct))
+	for i, v := range distinct {
+		ic.vals[i] = v.I
+		codeOf[v.I] = int32(i)
+	}
+	ints := c.Ints()
+	ic.codes = make([]int32, len(ints))
+	for i, v := range ints {
+		ic.codes[i] = codeOf[v]
+	}
+	return ic
+}
+
+// segBounds returns the row range [lo, hi) of segment s.
+func (ct *colTable) segBounds(s int) (lo, hi int) {
+	lo = s * segmentSize
+	hi = lo + segmentSize
+	if n := ct.t.NumRows(); hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// NewColumnStore builds a column store over the given base tables,
+// segmenting each and precomputing its zone maps.
+func NewColumnStore(tables ...*dataset.Table) *ColumnStore {
+	s := &ColumnStore{
+		tables: make(map[string]*dataset.Table, len(tables)),
+		cols:   make(map[string]*colTable, len(tables)),
+	}
+	for _, t := range tables {
+		s.tables[t.Name] = t
+		s.cols[t.Name] = newColTable(t)
+	}
+	return s
+}
+
+// Name identifies the back-end.
+func (s *ColumnStore) Name() string { return "columnstore" }
+
+// Table returns the named base table, or nil.
+func (s *ColumnStore) Table(name string) *dataset.Table { return s.tables[name] }
+
+// Counters returns cumulative execution statistics.
+func (s *ColumnStore) Counters() Counters { return s.stats.snapshot() }
+
+// vecPlan is the column store's per-plan compilation: the WHERE clause split
+// into top-level conjuncts, each lowered to a vectorized filter and keyed by
+// its canonical SQL so a batch can share evaluations across plans.
+type vecPlan struct {
+	ct    *colTable
+	conjs []vecConjunct // empty means "all rows"
+}
+
+type vecConjunct struct {
+	key string // canonical SQL of the conjunct, the sharing key
+	f   vecFilter
+}
+
+// skip reports whether the zone maps prove segment seg holds no row
+// matching ALL conjuncts.
+func (v *vecPlan) skip(seg int) bool {
+	for _, c := range v.conjs {
+		if c.f.skip(seg) {
+			return true
+		}
+	}
+	return false
+}
+
+// Prepare validates and column-resolves a parsed query, then attaches the
+// vectorized compilation (the column store's Plan hook).
+func (s *ColumnStore) Prepare(q *minisql.Query) (*Plan, error) {
+	p, err := newPlan(s, s.tables[q.From], q)
+	if err != nil {
+		return nil, err
+	}
+	ct := s.cols[q.From]
+	vp := &vecPlan{ct: ct}
+	if q.Where != nil {
+		conjuncts := []minisql.Expr{q.Where}
+		if and, isAnd := q.Where.(*minisql.And); isAnd {
+			conjuncts = and.Args
+		}
+		for _, c := range conjuncts {
+			f, err := compileVec(ct, p.t, c)
+			if err != nil {
+				return nil, err
+			}
+			vp.conjs = append(vp.conjs, vecConjunct{key: c.SQL(), f: f})
+		}
+	}
+	p.vec = vp
+	return p, nil
+}
+
+// Execute runs a parsed query (Prepare + Plan.Execute, which routes through
+// ExecuteBatch — the column store has no separate single-plan path).
+func (s *ColumnStore) Execute(q *minisql.Query) (*Result, error) {
+	p, err := s.Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute()
+}
+
+// ExecuteSQL parses and runs SQL text.
+func (s *ColumnStore) ExecuteSQL(sql string) (*Result, error) {
+	q, err := minisql.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.Execute(q)
+}
+
+// ExecuteBatch runs the plans as one request. Plans are grouped by base
+// table and dealt round-robin across at most Parallelism scan workers; each
+// worker walks the table's segments once for all of its plans, evaluating
+// every distinct predicate conjunct at most once per segment and skipping
+// (plan, segment) pairs the zone maps prove empty.
+func (s *ColumnStore) ExecuteBatch(plans []*Plan) ([]*Result, error) {
+	if err := checkBatch(s, plans); err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(plans))
+	errs := make([]error, len(plans))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.parallelism())
+	for _, grp := range groupPlansByTable(plans) {
+		ct := s.cols[grp.t.Name]
+		shards := shardIndices(grp.idx, s.parallelism())
+		s.stats.queries.Add(int64(len(grp.idx)))
+		for _, shard := range shards {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(shard []int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				s.scanSegments(ct, plans, shard, results, errs)
+			}(shard)
+		}
+	}
+	wg.Wait()
+	if err := firstError(plans, errs); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// rowSink is the push interface both accumulator kinds implement; matching
+// rows go in, a result relation comes out.
+type rowSink interface {
+	add(i int)
+	finish() (*Result, error)
+}
+
+// colEqGroup folds every shard plan whose whole predicate is one equality
+// on the same categorical column into a single code-routed pass per segment
+// (the columnar mirror of the row store's eqDispatch): one dictionary-code
+// lookup per row feeds every interested plan's sink, and zone maps still
+// skip per plan.
+type colEqGroup struct {
+	codes   []int32
+	route   [][]rowSink    // dictionary code -> sinks that want the row
+	filters []*catEqFilter // one per member plan, for per-plan zone tests
+}
+
+// scanSegments is one worker's shared segment walk serving every plan in the
+// shard. Single-equality plans over one column share a code-routed pass;
+// every other distinct conjunct (keyed by canonical SQL) is evaluated at
+// most once per segment and intersected per plan.
+func (s *ColumnStore) scanSegments(ct *colTable, plans []*Plan, shard []int, results []*Result, errs []error) {
+	sinks := make([]rowSink, len(shard))
+	for k, pi := range shard {
+		sinks[k] = newColSink(plans[pi])
+	}
+	// Partition the shard: dispatchable single-equality plans fold into
+	// per-column groups, everything else goes through the shared-conjunct
+	// slots.
+	var groups []*colEqGroup
+	groupOf := make(map[*colZone]*colEqGroup)
+	var slotKs []int
+	for k, pi := range shard {
+		vp := plans[pi].vec
+		if len(vp.conjs) == 1 {
+			if f, ok := vp.conjs[0].f.(*catEqFilter); ok && !f.neq {
+				g := groupOf[f.zone]
+				if g == nil {
+					g = &colEqGroup{codes: f.codes}
+					groupOf[f.zone] = g
+					groups = append(groups, g)
+				}
+				for int(f.code) >= len(g.route) {
+					g.route = append(g.route, nil)
+				}
+				g.route[f.code] = append(g.route[f.code], sinks[k])
+				g.filters = append(g.filters, f)
+				continue
+			}
+		}
+		slotKs = append(slotKs, k)
+	}
+	// Assign each distinct remaining conjunct one slot; plans refer to
+	// slots so a shared conjunct is evaluated once per segment.
+	slotOf := make(map[string]int)
+	var filters []vecFilter
+	planSlots := make(map[int][]int, len(slotKs))
+	for _, k := range slotKs {
+		vp := plans[shard[k]].vec
+		for _, c := range vp.conjs {
+			slot, ok := slotOf[c.key]
+			if !ok {
+				slot = len(filters)
+				slotOf[c.key] = slot
+				filters = append(filters, c.f)
+			}
+			planSlots[k] = append(planSlots[k], slot)
+		}
+	}
+	slotBits := make([][]uint64, len(filters))
+	for i := range slotBits {
+		slotBits[i] = newSegBits()
+	}
+	slotDone := make([]bool, len(filters))
+	acc := newSegBits()
+	var scanned, skipped int64
+	for seg := 0; seg < ct.nseg; seg++ {
+		lo, hi := ct.segBounds(seg)
+		for i := range slotDone {
+			slotDone[i] = false
+		}
+		visited := false
+		for _, g := range groups {
+			live := false
+			for _, f := range g.filters {
+				if f.skip(seg) {
+					skipped++
+				} else {
+					live = true
+				}
+			}
+			if !live {
+				continue
+			}
+			if !visited {
+				visited = true
+				scanned += int64(hi - lo)
+			}
+			codes, route := g.codes, g.route
+			for i := lo; i < hi; i++ {
+				if c := codes[i]; int(c) < len(route) {
+					for _, sink := range route[c] {
+						sink.add(i)
+					}
+				}
+			}
+		}
+		for _, k := range slotKs {
+			vp := plans[shard[k]].vec
+			if vp.skip(seg) {
+				skipped++
+				continue
+			}
+			if !visited {
+				visited = true
+				scanned += int64(hi - lo)
+			}
+			sink := sinks[k]
+			slots := planSlots[k]
+			switch len(slots) {
+			case 0:
+				for i := lo; i < hi; i++ {
+					sink.add(i)
+				}
+				continue
+			case 1:
+				drainBits(evalSlot(filters, slotBits, slotDone, slots[0], lo, hi), lo, hi, sink)
+				continue
+			}
+			copy(acc, evalSlot(filters, slotBits, slotDone, slots[0], lo, hi))
+			for _, slot := range slots[1:] {
+				bits := evalSlot(filters, slotBits, slotDone, slot, lo, hi)
+				for w := range acc {
+					acc[w] &= bits[w]
+				}
+			}
+			drainBits(acc, lo, hi, sink)
+		}
+	}
+	s.stats.rowsScanned.Add(scanned)
+	s.stats.segmentsSkipped.Add(skipped)
+	for k, pi := range shard {
+		results[pi], errs[pi] = sinks[k].finish()
+	}
+}
+
+// evalSlot returns the selection bitmap of one conjunct for the current
+// segment, evaluating it on first use.
+func evalSlot(filters []vecFilter, slotBits [][]uint64, slotDone []bool, slot, lo, hi int) []uint64 {
+	if !slotDone[slot] {
+		clearBits(slotBits[slot])
+		filters[slot].eval(lo, hi, slotBits[slot])
+		slotDone[slot] = true
+	}
+	return slotBits[slot]
+}
+
+// drainBits feeds the selected rows of a segment into the sink in ascending
+// row order — the order every back-end produces, which is what keeps group
+// first-seen order and float accumulation identical across stores.
+func drainBits(sel []uint64, lo, hi int, sink rowSink) {
+	words := (hi - lo + 63) / 64
+	for w := 0; w < words; w++ {
+		word := sel[w]
+		base := lo + w<<6
+		for word != 0 {
+			sink.add(base + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
+// maxFlatSlots bounds the combined key space (product of the group-key
+// cardinalities) the flat accumulator path will allocate; beyond it the
+// generic hash sink takes over.
+const maxFlatSlots = 1 << 16
+
+// newColSink picks the accumulator for a plan: the flat dictionary-code
+// sink when every GROUP BY key is an unbinned categorical or dictionary-
+// encoded integer column and the combined key space is small, the generic
+// hash sink otherwise.
+func newColSink(p *Plan) rowSink {
+	if !p.hasAgg && len(p.q.GroupBy) == 0 {
+		return p.newSink() // projection: nothing to accumulate
+	}
+	ct := p.vec.ct
+	slots := 1
+	codes := make([][]int32, len(p.keyCol))
+	card := make([]int, len(p.keyCol))
+	for k, c := range p.keyCol {
+		if p.q.GroupBy[k].Bin != 0 {
+			return p.newSink()
+		}
+		switch c.Field.Kind {
+		case dataset.KindString:
+			codes[k] = c.Codes()
+			card[k] = c.Cardinality()
+		case dataset.KindInt:
+			ic := ct.intCodes[c.Field.Name]
+			if ic == nil {
+				return p.newSink()
+			}
+			codes[k] = ic.codes
+			card[k] = len(ic.vals)
+		default:
+			return p.newSink()
+		}
+		if card[k] == 0 {
+			card[k] = 1
+		}
+		if slots > maxFlatSlots/card[k] {
+			return p.newSink()
+		}
+		slots *= card[k]
+	}
+	fs := &flatSink{
+		p:     p,
+		slots: make([]int32, slots),
+		codes: codes,
+		card:  card,
+	}
+	for i := range fs.slots {
+		fs.slots[i] = -1
+	}
+	for _, c := range p.aggCol {
+		fs.aggCol = append(fs.aggCol, c)
+		if c == nil { // COUNT(*)
+			fs.aggF = append(fs.aggF, nil)
+			fs.aggI = append(fs.aggI, nil)
+			continue
+		}
+		fs.aggF = append(fs.aggF, floatsOf(c))
+		fs.aggI = append(fs.aggI, intsOf(c))
+	}
+	return fs
+}
+
+// flatSink is the vectorized aggregation accumulator: the combined
+// dictionary code of a row's group keys indexes a flat slot array instead of
+// hashing a key buffer. Groups are still emitted in first-seen order, so
+// results stay byte-identical to the hash sink's.
+type flatSink struct {
+	p      *Plan
+	slots  []int32 // combined key code -> index into groups, -1 = unseen
+	groups []*group
+	codes  [][]int32
+	card   []int
+	aggCol []*dataset.Column
+	aggF   [][]float64
+	aggI   [][]int64
+}
+
+func (s *flatSink) add(i int) {
+	slot := 0
+	for k, codes := range s.codes {
+		slot = slot*s.card[k] + int(codes[i])
+	}
+	gi := s.slots[slot]
+	if gi < 0 {
+		p := s.p
+		g := &group{
+			keyVals:  make([]dataset.Value, len(p.keyCol)),
+			aggs:     make([]aggState, len(p.aggSel)),
+			firstRow: i,
+		}
+		for k, c := range p.keyCol {
+			g.keyVals[k] = c.Value(i)
+		}
+		gi = int32(len(s.groups))
+		s.groups = append(s.groups, g)
+		s.slots[slot] = gi
+	}
+	g := s.groups[gi]
+	for a := range g.aggs {
+		switch {
+		case s.aggCol[a] == nil:
+			g.aggs[a].add(0) // COUNT(*): only count matters
+		case s.aggF[a] != nil:
+			g.aggs[a].add(s.aggF[a][i])
+		case s.aggI[a] != nil:
+			g.aggs[a].add(float64(s.aggI[a][i]))
+		default:
+			g.aggs[a].add(s.aggCol[a].Float(i))
+		}
+	}
+}
+
+func (s *flatSink) finish() (*Result, error) { return s.p.finishGroups(s.groups) }

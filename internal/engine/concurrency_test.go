@@ -8,12 +8,13 @@ import (
 	"repro/internal/minisql"
 )
 
-// The concurrent-read contract of both back-ends: tables are immutable after
-// build, indexes are immutable after NewBitmapStore, roaring set operations
-// are functional (they return fresh bitmaps, or share inputs read-only), plan
-// execution state lives in per-execution sinks, and the cumulative counters
-// are atomics. This test drives every read entry point from many goroutines
-// at once so `go test -race` verifies the audit.
+// The concurrent-read contract of all three back-ends: tables are immutable
+// after build, indexes/zone maps are immutable after store construction,
+// roaring set operations are functional (they return fresh bitmaps, or share
+// inputs read-only), plan execution state lives in per-execution sinks (the
+// column store's compiled vecFilters hold only immutable state), and the
+// cumulative counters are atomics. This test drives every read entry point
+// from many goroutines at once so `go test -race` verifies the audit.
 
 // concurrencyQueries is a mix of shapes: indexable equality (bitmap fast
 // path), range predicates (int index), residual predicates (post-filter),
@@ -30,7 +31,7 @@ var concurrencyQueries = []string{
 
 func TestConcurrentReaders(t *testing.T) {
 	tb := salesTable()
-	for _, db := range bothStores(tb) {
+	for _, db := range allStores(tb) {
 		t.Run(db.Name(), func(t *testing.T) {
 			// Baseline results computed sequentially before any concurrency.
 			want := make([]*Result, len(concurrencyQueries))

@@ -35,13 +35,13 @@ func salesTable() *dataset.Table {
 	return t
 }
 
-func bothStores(t *dataset.Table) []DB {
-	return []DB{NewRowStore(t), NewBitmapStore(t)}
+func allStores(t *dataset.Table) []DB {
+	return []DB{NewRowStore(t), NewBitmapStore(t), NewColumnStore(t)}
 }
 
 func TestSimpleAggregation(t *testing.T) {
 	tb := salesTable()
-	for _, db := range bothStores(tb) {
+	for _, db := range allStores(tb) {
 		res, err := db.ExecuteSQL("SELECT year, SUM(sales) FROM sales WHERE product='chair' AND location='US' GROUP BY year ORDER BY year")
 		if err != nil {
 			t.Fatalf("%s: %v", db.Name(), err)
@@ -83,7 +83,7 @@ func TestAllAggregates(t *testing.T) {
 		}
 		tb.AppendRow(dataset.SV(g), dataset.FV(v))
 	}
-	for _, db := range bothStores(tb) {
+	for _, db := range allStores(tb) {
 		res, err := db.ExecuteSQL("SELECT g, SUM(v) AS s, AVG(v) AS a, MIN(v) AS lo, MAX(v) AS hi, COUNT(*) AS n FROM t GROUP BY g ORDER BY g")
 		if err != nil {
 			t.Fatal(err)
@@ -104,7 +104,7 @@ func TestAllAggregates(t *testing.T) {
 
 func TestProjectionWithoutAggregation(t *testing.T) {
 	tb := salesTable()
-	for _, db := range bothStores(tb) {
+	for _, db := range allStores(tb) {
 		res, err := db.ExecuteSQL("SELECT product, sales FROM sales WHERE year = 2010 AND location = 'UK' ORDER BY sales DESC LIMIT 5")
 		if err != nil {
 			t.Fatal(err)
@@ -128,7 +128,7 @@ func TestBinning(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		tb.AppendRow(dataset.FV(float64(i)), dataset.FV(1))
 	}
-	for _, db := range bothStores(tb) {
+	for _, db := range allStores(tb) {
 		res, err := db.ExecuteSQL("SELECT BIN(weight, 20) AS w, SUM(sales) AS s FROM w GROUP BY BIN(weight, 20) ORDER BY w")
 		if err != nil {
 			t.Fatal(err)
@@ -151,7 +151,7 @@ func TestLikePredicate(t *testing.T) {
 	for _, z := range []string{"02134", "02999", "03000", "12999", "0213"} {
 		tb.AppendRow(dataset.SV(z))
 	}
-	for _, db := range bothStores(tb) {
+	for _, db := range allStores(tb) {
 		res, err := db.ExecuteSQL("SELECT zip FROM z WHERE zip LIKE '02___'")
 		if err != nil {
 			t.Fatal(err)
@@ -202,7 +202,7 @@ func TestLikeMatcher(t *testing.T) {
 
 func TestInAndBetween(t *testing.T) {
 	tb := salesTable()
-	for _, db := range bothStores(tb) {
+	for _, db := range allStores(tb) {
 		res, err := db.ExecuteSQL("SELECT product, SUM(sales) FROM sales WHERE product IN ('chair','desk') AND year BETWEEN 2011 AND 2012 GROUP BY product ORDER BY product")
 		if err != nil {
 			t.Fatal(err)
@@ -215,7 +215,7 @@ func TestInAndBetween(t *testing.T) {
 
 func TestOrNotPredicates(t *testing.T) {
 	tb := salesTable()
-	for _, db := range bothStores(tb) {
+	for _, db := range allStores(tb) {
 		res, err := db.ExecuteSQL("SELECT COUNT(*) FROM sales WHERE product = 'chair' OR product = 'desk'")
 		if err != nil {
 			t.Fatal(err)
@@ -242,7 +242,7 @@ func TestOrNotPredicates(t *testing.T) {
 
 func TestMissingTableAndColumn(t *testing.T) {
 	tb := salesTable()
-	for _, db := range bothStores(tb) {
+	for _, db := range allStores(tb) {
 		if _, err := db.ExecuteSQL("SELECT a FROM nope"); err == nil {
 			t.Errorf("%s: missing table should error", db.Name())
 		}
@@ -263,7 +263,7 @@ func TestMissingTableAndColumn(t *testing.T) {
 
 func TestEqualityOnUnseenValue(t *testing.T) {
 	tb := salesTable()
-	for _, db := range bothStores(tb) {
+	for _, db := range allStores(tb) {
 		res, err := db.ExecuteSQL("SELECT COUNT(*) FROM sales WHERE product = 'widget'")
 		if err != nil {
 			t.Fatal(err)
@@ -277,7 +277,7 @@ func TestEqualityOnUnseenValue(t *testing.T) {
 
 func TestCountersAdvance(t *testing.T) {
 	tb := salesTable()
-	for _, db := range bothStores(tb) {
+	for _, db := range allStores(tb) {
 		before := db.Counters()
 		if _, err := db.ExecuteSQL("SELECT COUNT(*) FROM sales"); err != nil {
 			t.Fatal(err)
@@ -377,7 +377,7 @@ func TestResultColIndex(t *testing.T) {
 
 func TestNonGroupedPlainColumnTakesRepresentative(t *testing.T) {
 	tb := salesTable()
-	for _, db := range bothStores(tb) {
+	for _, db := range allStores(tb) {
 		// location is not grouped; executor takes the group's first row value.
 		res, err := db.ExecuteSQL("SELECT year, location, SUM(sales) FROM sales WHERE location='US' GROUP BY year ORDER BY year")
 		if err != nil {

@@ -27,9 +27,10 @@ func (r *Result) ColIndex(name string) int {
 	return -1
 }
 
-// DB is a queryable storage back-end. Both stores implement it.
+// DB is a queryable storage back-end. All three stores implement it.
 type DB interface {
-	// Name identifies the back-end ("rowstore" or "bitmapstore").
+	// Name identifies the back-end ("rowstore", "bitmapstore", or
+	// "columnstore").
 	Name() string
 	// Table returns the named base table, or nil.
 	Table(name string) *dataset.Table
@@ -43,7 +44,9 @@ type DB interface {
 	// ExecuteBatch runs a batch of prepared plans as one request, sharing
 	// work across plans over the same table: the row store serves every plan
 	// in the batch from shared scans, the bitmap store computes common
-	// predicate conjunct bitmaps once. Results align with plans.
+	// predicate conjunct bitmaps once, and the column store evaluates common
+	// predicate conjuncts segment-at-a-time once per scan worker. Results
+	// align with plans.
 	ExecuteBatch(plans []*Plan) ([]*Result, error)
 	// Counters returns cumulative execution statistics.
 	Counters() Counters
@@ -75,18 +78,34 @@ func (p *parLimit) parallelism() int {
 }
 
 // Counters accumulates execution statistics across queries.
+//
+// RowsScanned counts the rows an executor actually visits to produce a
+// plan's matching set, so the number is comparable across back-ends even
+// though each produces matches differently: the row store visits every row
+// of each shared scan (one table length per scan worker), the bitmap store
+// visits the candidate rows of the intersected index bitmaps (plus full
+// table lengths when a plan falls back to scanning), and the column store
+// visits the rows of every segment its zone maps could not prove empty.
+// SegmentsSkipped is column-store only: the number of (plan, segment) pairs
+// the zone maps proved empty, each saving a segment's worth of scanning.
 type Counters struct {
-	Queries     int64
-	RowsScanned int64
+	Queries         int64
+	RowsScanned     int64
+	SegmentsSkipped int64
 }
 
 type counters struct {
-	queries     atomic.Int64
-	rowsScanned atomic.Int64
+	queries         atomic.Int64
+	rowsScanned     atomic.Int64
+	segmentsSkipped atomic.Int64
 }
 
 func (c *counters) snapshot() Counters {
-	return Counters{Queries: c.queries.Load(), RowsScanned: c.rowsScanned.Load()}
+	return Counters{
+		Queries:         c.queries.Load(),
+		RowsScanned:     c.rowsScanned.Load(),
+		SegmentsSkipped: c.segmentsSkipped.Load(),
+	}
 }
 
 // rowIter produces the matching row indices in ascending order.

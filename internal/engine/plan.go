@@ -22,6 +22,7 @@ type Plan struct {
 	sql string // canonical rendering of q, fixed at Prepare time
 
 	pred   rowPredicate      // compiled WHERE; always-true when q.Where is nil
+	vec    *vecPlan          // column-store compilation hook; nil elsewhere
 	cols   []string          // output column names
 	hasAgg bool              // any aggregate select item
 	selCol []*dataset.Column // per select item; nil for COUNT(*)
@@ -213,41 +214,58 @@ func (s *planSink) add(i int) {
 // finish emits the result relation: group rows (or projected rows), ordering,
 // and LIMIT.
 func (s *planSink) finish() (*Result, error) {
-	p := s.p
-	res := &Result{Cols: p.cols}
 	if s.groups == nil {
-		res.Rows = s.rows
-	} else {
-		// An aggregate with no GROUP BY always yields exactly one row, even
-		// over an empty match set (SQL semantics).
-		if len(p.q.GroupBy) == 0 && len(s.groupList) == 0 {
-			s.groupList = append(s.groupList, &group{aggs: make([]aggState, len(p.aggSel)), firstRow: -1})
-		}
-		// One output row per group in first-seen order; orderResult sorts.
-		for _, g := range s.groupList {
-			row := make(dataset.Row, len(p.q.Select))
-			ai := 0
-			for j, sel := range p.q.Select {
-				if sel.Agg != minisql.AggNone {
-					row[j] = g.aggs[ai].value(sel.Agg)
-					ai++
-					continue
-				}
-				if k := p.keyOf[j]; k >= 0 {
-					row[j] = g.keyVals[k]
-					continue
-				}
-				// Non-grouped plain column: representative value from the
-				// group's first row (the query author asserts dependence).
-				if g.firstRow < 0 {
-					row[j] = dataset.NullValue
-				} else {
-					row[j] = cellValue(p.selCol[j], sel.Bin, g.firstRow)
-				}
-			}
-			res.Rows = append(res.Rows, row)
-		}
+		return s.p.finishRows(s.rows)
 	}
+	return s.p.finishGroups(s.groupList)
+}
+
+// finishRows emits a projection result from the accumulated rows, applying
+// ordering and LIMIT. Shared by every sink implementation.
+func (p *Plan) finishRows(rows []dataset.Row) (*Result, error) {
+	res := &Result{Cols: p.cols, Rows: rows}
+	return p.orderAndLimit(res)
+}
+
+// finishGroups emits an aggregation result from groups in first-seen order,
+// applying ordering and LIMIT. Shared by every sink implementation, which is
+// what keeps the back-ends byte-identical: only the way matching rows are
+// produced differs.
+func (p *Plan) finishGroups(groupList []*group) (*Result, error) {
+	res := &Result{Cols: p.cols}
+	// An aggregate with no GROUP BY always yields exactly one row, even
+	// over an empty match set (SQL semantics).
+	if len(p.q.GroupBy) == 0 && len(groupList) == 0 {
+		groupList = append(groupList, &group{aggs: make([]aggState, len(p.aggSel)), firstRow: -1})
+	}
+	// One output row per group in first-seen order; orderResult sorts.
+	for _, g := range groupList {
+		row := make(dataset.Row, len(p.q.Select))
+		ai := 0
+		for j, sel := range p.q.Select {
+			if sel.Agg != minisql.AggNone {
+				row[j] = g.aggs[ai].value(sel.Agg)
+				ai++
+				continue
+			}
+			if k := p.keyOf[j]; k >= 0 {
+				row[j] = g.keyVals[k]
+				continue
+			}
+			// Non-grouped plain column: representative value from the
+			// group's first row (the query author asserts dependence).
+			if g.firstRow < 0 {
+				row[j] = dataset.NullValue
+			} else {
+				row[j] = cellValue(p.selCol[j], sel.Bin, g.firstRow)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return p.orderAndLimit(res)
+}
+
+func (p *Plan) orderAndLimit(res *Result) (*Result, error) {
 	if err := orderResult(res, p.q.OrderBy); err != nil {
 		return nil, err
 	}

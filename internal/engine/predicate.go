@@ -1,15 +1,21 @@
-// Package engine executes minisql queries against dataset tables. It provides
-// the paper's two storage back-ends behind one interface:
+// Package engine executes minisql queries against dataset tables. It
+// provides three storage back-ends behind one DB interface:
 //
 //   - RowStore: a full-scan executor with hash aggregation, standing in for
 //     the PostgreSQL back-end of the paper,
-//   - BitmapStore: a column store with one roaring bitmap per distinct value
-//     of each indexed categorical column, standing in for zenvisage's
-//     "Roaring Bitmap Database".
+//   - BitmapStore: a store with one roaring bitmap per distinct value of
+//     each indexed categorical column, standing in for zenvisage's "Roaring
+//     Bitmap Database",
+//   - ColumnStore: a segmented columnar executor that evaluates predicates
+//     vectorized over selection bitmaps, skips segments its zone maps prove
+//     empty, and aggregates through flat dictionary-code accumulators.
 //
-// Both back-ends share the projection / grouping / aggregation / ordering
+// All back-ends share the projection / grouping / aggregation / ordering
 // pipeline; they differ only in how they produce the set of matching rows,
 // which is exactly the axis the paper's Figure 7.5 experiment measures.
+// Results are byte-identical across back-ends — the golden corpus under
+// internal/zexec/testdata pins it. See docs/ARCHITECTURE.md for the
+// store-by-store comparison and counter semantics.
 package engine
 
 import (

@@ -1,0 +1,525 @@
+package engine
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/minisql"
+)
+
+// The vectorized predicate layer of the column store. A minisql.Expr is
+// compiled once, at Prepare time, into a tree of vecFilters; at execution
+// each filter evaluates one segment at a time into a selection bitmap
+// (one bit per row of the segment) instead of being interpreted per row.
+// Every filter also answers a zone-map question — "can this segment possibly
+// contain a matching row?" — so segments the zone maps prove empty are
+// skipped without touching their data.
+
+// segWords is the bitmap length of one full segment's selection vector.
+const segWords = segmentSize / 64
+
+// vecFilter evaluates a predicate over one segment of a table.
+//
+// Implementations hold only immutable compile-time state (column slices,
+// zone maps, constants), so one vecFilter may be evaluated by any number of
+// goroutines at once — the same contract plan predicates already obey.
+type vecFilter interface {
+	// skip reports whether the zone maps PROVE segment s holds no matching
+	// row. False means "maybe"; skip is always allowed to give up and return
+	// false.
+	skip(s int) bool
+	// eval sets bit i-lo of bits for every matching row i in [lo, hi).
+	// bits has segWords words and arrives zeroed.
+	eval(lo, hi int, bits []uint64)
+}
+
+func setBit(bits []uint64, i int) { bits[i>>6] |= 1 << (uint(i) & 63) }
+func clearBits(bits []uint64) {
+	for i := range bits {
+		bits[i] = 0
+	}
+}
+func newSegBits() []uint64 { return make([]uint64, segWords) }
+
+// segBitsPool recycles composite filters' scratch bitmaps. eval runs once
+// per segment inside the scan hot loop, and filters must stay stateless for
+// concurrent execution, so scratch is pooled instead of owned.
+var segBitsPool = sync.Pool{New: func() any {
+	b := newSegBits()
+	return &b
+}}
+
+func getSegBits() *[]uint64  { return segBitsPool.Get().(*[]uint64) }
+func putSegBits(b *[]uint64) { segBitsPool.Put(b) }
+
+// maskTail clears the bits at and above n, so complements of a partial
+// segment don't select rows past the table end.
+func maskTail(bits []uint64, n int) {
+	full := n >> 6
+	if rem := uint(n) & 63; rem != 0 {
+		bits[full] &= (1 << rem) - 1
+		full++
+	}
+	for i := full; i < len(bits); i++ {
+		bits[i] = 0
+	}
+}
+
+// --- leaves ---------------------------------------------------------------
+
+// constFilter matches everything or nothing (e.g. equality against a string
+// the dictionary has never seen).
+type constFilter struct{ match bool }
+
+func (f constFilter) skip(int) bool { return !f.match }
+func (f constFilter) eval(lo, hi int, bits []uint64) {
+	if !f.match {
+		return
+	}
+	for i := 0; i < hi-lo; i++ {
+		setBit(bits, i)
+	}
+}
+
+// catEqFilter is code equality (or inequality) on a categorical column.
+type catEqFilter struct {
+	codes []int32
+	zone  *colZone
+	code  int32
+	neq   bool
+}
+
+func (f *catEqFilter) skip(s int) bool {
+	if f.neq {
+		// Skip only if the segment holds nothing but f.code.
+		return f.zone.onlyCode(s, f.code)
+	}
+	return !f.zone.hasCode(s, f.code)
+}
+
+func (f *catEqFilter) eval(lo, hi int, bits []uint64) {
+	codes, code := f.codes, f.code
+	if f.neq {
+		for i := lo; i < hi; i++ {
+			if codes[i] != code {
+				setBit(bits, i-lo)
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		if codes[i] == code {
+			setBit(bits, i-lo)
+		}
+	}
+}
+
+// catSetFilter matches rows whose code is in a compiled code set — IN lists
+// and LIKE patterns over categorical columns compile to this.
+type catSetFilter struct {
+	codes []int32
+	zone  *colZone
+	want  []uint64 // bitset over dictionary codes
+}
+
+func (f *catSetFilter) skip(s int) bool { return !f.zone.anyCode(s, f.want) }
+
+func (f *catSetFilter) eval(lo, hi int, bits []uint64) {
+	codes, want := f.codes, f.want
+	for i := lo; i < hi; i++ {
+		c := codes[i]
+		if want[c>>6]&(1<<(uint(c)&63)) != 0 {
+			setBit(bits, i-lo)
+		}
+	}
+}
+
+// numRangeFilter matches numeric rows inside [lo, hi] (either bound may be
+// infinite) — comparisons and BETWEEN both compile to this.
+type numRangeFilter struct {
+	ints   []int64
+	floats []float64
+	zone   *colZone
+	lo, hi float64
+}
+
+func (f *numRangeFilter) skip(s int) bool {
+	return f.zone.max[s] < f.lo || f.zone.min[s] > f.hi
+}
+
+func (f *numRangeFilter) eval(lo, hi int, bits []uint64) {
+	a, b := f.lo, f.hi
+	if f.ints != nil {
+		vals := f.ints
+		for i := lo; i < hi; i++ {
+			v := float64(vals[i])
+			if v >= a && v <= b {
+				setBit(bits, i-lo)
+			}
+		}
+		return
+	}
+	vals := f.floats
+	for i := lo; i < hi; i++ {
+		if vals[i] >= a && vals[i] <= b {
+			setBit(bits, i-lo)
+		}
+	}
+}
+
+// numNeFilter is numeric !=, the one comparison a single range can't express.
+type numNeFilter struct {
+	ints   []int64
+	floats []float64
+	zone   *colZone
+	val    float64
+}
+
+func (f *numNeFilter) skip(s int) bool {
+	// min == max == val proves every non-NaN row equals val; a NaN row
+	// still matches != (NaN compares unequal to everything), so its
+	// presence voids the proof.
+	return f.zone.min[s] == f.val && f.zone.max[s] == f.val && !f.zone.nan[s]
+}
+
+func (f *numNeFilter) eval(lo, hi int, bits []uint64) {
+	v := f.val
+	if f.ints != nil {
+		vals := f.ints
+		for i := lo; i < hi; i++ {
+			if float64(vals[i]) != v {
+				setBit(bits, i-lo)
+			}
+		}
+		return
+	}
+	vals := f.floats
+	for i := lo; i < hi; i++ {
+		if vals[i] != v {
+			setBit(bits, i-lo)
+		}
+	}
+}
+
+// numSetFilter is a numeric IN list. The zone test uses the set's own
+// min/max envelope: if every wanted value lies outside the segment's range,
+// no row can match.
+type numSetFilter struct {
+	ints           []int64
+	floats         []float64
+	zone           *colZone
+	want           map[float64]bool
+	wantLo, wantHi float64
+}
+
+func (f *numSetFilter) skip(s int) bool {
+	return f.wantHi < f.zone.min[s] || f.wantLo > f.zone.max[s]
+}
+
+func (f *numSetFilter) eval(lo, hi int, bits []uint64) {
+	if f.ints != nil {
+		vals := f.ints
+		for i := lo; i < hi; i++ {
+			if f.want[float64(vals[i])] {
+				setBit(bits, i-lo)
+			}
+		}
+		return
+	}
+	vals := f.floats
+	for i := lo; i < hi; i++ {
+		if f.want[vals[i]] {
+			setBit(bits, i-lo)
+		}
+	}
+}
+
+// predFilter is the catch-all: it evaluates a compiled row predicate inside
+// the segment loop. Shapes the typed leaves don't cover (mixed-kind
+// comparisons, LIKE over numerics) land here; no zone skipping.
+type predFilter struct{ pred rowPredicate }
+
+func (f predFilter) skip(int) bool { return false }
+func (f predFilter) eval(lo, hi int, bits []uint64) {
+	for i := lo; i < hi; i++ {
+		if f.pred(i) {
+			setBit(bits, i-lo)
+		}
+	}
+}
+
+// --- composites -----------------------------------------------------------
+
+// andFilter intersects its children's selections.
+type andFilter struct{ args []vecFilter }
+
+func (f *andFilter) skip(s int) bool {
+	for _, a := range f.args {
+		if a.skip(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *andFilter) eval(lo, hi int, bits []uint64) {
+	f.args[0].eval(lo, hi, bits)
+	sp := getSegBits()
+	defer putSegBits(sp)
+	scratch := *sp
+	for _, a := range f.args[1:] {
+		clearBits(scratch)
+		a.eval(lo, hi, scratch)
+		for w := range bits {
+			bits[w] &= scratch[w]
+		}
+	}
+}
+
+// orFilter unions its children's selections, skipping children the zone maps
+// rule out for the segment.
+type orFilter struct{ args []vecFilter }
+
+func (f *orFilter) skip(s int) bool {
+	for _, a := range f.args {
+		if !a.skip(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *orFilter) eval(lo, hi int, bits []uint64) {
+	s := lo / segmentSize
+	sp := getSegBits()
+	defer putSegBits(sp)
+	scratch := *sp
+	for _, a := range f.args {
+		if a.skip(s) {
+			continue
+		}
+		clearBits(scratch)
+		a.eval(lo, hi, scratch)
+		for w := range bits {
+			bits[w] |= scratch[w]
+		}
+	}
+}
+
+// notFilter complements its child inside the segment.
+type notFilter struct{ arg vecFilter }
+
+func (f *notFilter) skip(int) bool { return false }
+func (f *notFilter) eval(lo, hi int, bits []uint64) {
+	f.arg.eval(lo, hi, bits)
+	for w := range bits {
+		bits[w] = ^bits[w]
+	}
+	maskTail(bits, hi-lo)
+}
+
+// --- compilation ----------------------------------------------------------
+
+// compileVec lowers a predicate to a vectorized filter over ct. A nil expr
+// matches every row. Compilation cannot fail where compilePredicate
+// succeeded: any shape without a typed vectorized form falls back to a
+// predFilter around the row-at-a-time closure.
+func compileVec(ct *colTable, t *dataset.Table, e minisql.Expr) (vecFilter, error) {
+	if e == nil {
+		return constFilter{match: true}, nil
+	}
+	switch x := e.(type) {
+	case *minisql.And:
+		args, err := compileVecList(ct, t, x.Args)
+		if err != nil {
+			return nil, err
+		}
+		return &andFilter{args: args}, nil
+	case *minisql.Or:
+		args, err := compileVecList(ct, t, x.Args)
+		if err != nil {
+			return nil, err
+		}
+		return &orFilter{args: args}, nil
+	case *minisql.Not:
+		arg, err := compileVec(ct, t, x.Arg)
+		if err != nil {
+			return nil, err
+		}
+		return &notFilter{arg: arg}, nil
+	case *minisql.Compare:
+		return compileVecCompare(ct, t, x)
+	case *minisql.In:
+		return compileVecIn(ct, t, x)
+	case *minisql.Like:
+		return compileVecLike(ct, t, x)
+	case *minisql.Between:
+		c, err := lookupColumn(t, x.Col)
+		if err != nil {
+			return nil, err
+		}
+		if c.Field.Kind != dataset.KindString && x.Lo.Kind != dataset.KindString && x.Hi.Kind != dataset.KindString {
+			return numRange(ct, c, x.Lo.Float(), x.Hi.Float()), nil
+		}
+		return fallbackFilter(t, x)
+	}
+	return fallbackFilter(t, e)
+}
+
+func compileVecList(ct *colTable, t *dataset.Table, exprs []minisql.Expr) ([]vecFilter, error) {
+	out := make([]vecFilter, len(exprs))
+	for i, e := range exprs {
+		f, err := compileVec(ct, t, e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// fallbackFilter wraps the row-at-a-time compiled predicate of e.
+func fallbackFilter(t *dataset.Table, e minisql.Expr) (vecFilter, error) {
+	pred, err := compilePredicate(t, e)
+	if err != nil {
+		return nil, err
+	}
+	return predFilter{pred: pred}, nil
+}
+
+func numRange(ct *colTable, c *dataset.Column, lo, hi float64) vecFilter {
+	return &numRangeFilter{
+		ints:   intsOf(c),
+		floats: floatsOf(c),
+		zone:   ct.zones[c.Field.Name],
+		lo:     lo,
+		hi:     hi,
+	}
+}
+
+// intsOf / floatsOf return the raw slice only for the matching kind, so the
+// typed filters can branch once instead of per row.
+func intsOf(c *dataset.Column) []int64 {
+	if c.Field.Kind == dataset.KindInt {
+		return c.Ints()
+	}
+	return nil
+}
+
+func floatsOf(c *dataset.Column) []float64 {
+	if c.Field.Kind == dataset.KindFloat {
+		return c.Floats()
+	}
+	return nil
+}
+
+func compileVecCompare(ct *colTable, t *dataset.Table, x *minisql.Compare) (vecFilter, error) {
+	c, err := lookupColumn(t, x.Col)
+	if err != nil {
+		return nil, err
+	}
+	if c.Field.Kind == dataset.KindString && x.Val.Kind == dataset.KindString {
+		switch x.Op {
+		case minisql.CmpEq:
+			code := c.CodeOf(x.Val.S)
+			if code < 0 {
+				return constFilter{match: false}, nil
+			}
+			return &catEqFilter{codes: c.Codes(), zone: ct.zones[c.Field.Name], code: code}, nil
+		case minisql.CmpNe:
+			code := c.CodeOf(x.Val.S)
+			if code < 0 {
+				return constFilter{match: true}, nil
+			}
+			return &catEqFilter{codes: c.Codes(), zone: ct.zones[c.Field.Name], code: code, neq: true}, nil
+		}
+		return fallbackFilter(t, x)
+	}
+	if c.Field.Kind != dataset.KindString && x.Val.Kind != dataset.KindString {
+		v := x.Val.Float()
+		switch x.Op {
+		case minisql.CmpEq:
+			return numRange(ct, c, v, v), nil
+		case minisql.CmpNe:
+			return &numNeFilter{ints: intsOf(c), floats: floatsOf(c), zone: ct.zones[c.Field.Name], val: v}, nil
+		case minisql.CmpLt:
+			return numRange(ct, c, math.Inf(-1), math.Nextafter(v, math.Inf(-1))), nil
+		case minisql.CmpLe:
+			return numRange(ct, c, math.Inf(-1), v), nil
+		case minisql.CmpGt:
+			return numRange(ct, c, math.Nextafter(v, math.Inf(1)), math.Inf(1)), nil
+		case minisql.CmpGe:
+			return numRange(ct, c, v, math.Inf(1)), nil
+		}
+	}
+	return fallbackFilter(t, x)
+}
+
+func compileVecIn(ct *colTable, t *dataset.Table, x *minisql.In) (vecFilter, error) {
+	c, err := lookupColumn(t, x.Col)
+	if err != nil {
+		return nil, err
+	}
+	if c.Field.Kind == dataset.KindString {
+		want := make([]uint64, (c.Cardinality()+63)/64)
+		any := false
+		for _, v := range x.Vals {
+			if code := c.CodeOf(v.String()); code >= 0 {
+				want[code>>6] |= 1 << (uint(code) & 63)
+				any = true
+			}
+		}
+		if !any {
+			return constFilter{match: false}, nil
+		}
+		return &catSetFilter{codes: c.Codes(), zone: ct.zones[c.Field.Name], want: want}, nil
+	}
+	f := &numSetFilter{
+		ints:   intsOf(c),
+		floats: floatsOf(c),
+		zone:   ct.zones[c.Field.Name],
+		want:   make(map[float64]bool, len(x.Vals)),
+		wantLo: math.Inf(1),
+		wantHi: math.Inf(-1),
+	}
+	for _, v := range x.Vals {
+		fv := v.Float()
+		f.want[fv] = true
+		if fv < f.wantLo {
+			f.wantLo = fv
+		}
+		if fv > f.wantHi {
+			f.wantHi = fv
+		}
+	}
+	if len(f.want) == 0 {
+		return constFilter{match: false}, nil
+	}
+	return f, nil
+}
+
+func compileVecLike(ct *colTable, t *dataset.Table, x *minisql.Like) (vecFilter, error) {
+	c, err := lookupColumn(t, x.Col)
+	if err != nil {
+		return nil, err
+	}
+	if c.Field.Kind != dataset.KindString {
+		return fallbackFilter(t, x)
+	}
+	// Evaluate the pattern once per dictionary entry; the row loop and the
+	// zone test then work on the resulting code set, same as IN.
+	m := compileLikeMatcher(x.Pattern)
+	want := make([]uint64, (c.Cardinality()+63)/64)
+	any := false
+	for code, s := range c.Dict() {
+		if m(s) {
+			want[code>>6] |= 1 << (uint(code) & 63)
+			any = true
+		}
+	}
+	if !any {
+		return constFilter{match: false}, nil
+	}
+	return &catSetFilter{codes: c.Codes(), zone: ct.zones[c.Field.Name], want: want}, nil
+}

@@ -148,15 +148,16 @@ func TestFig75Census(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(rows) != 4 {
+		if len(rows) != 6 {
 			t.Fatalf("%d rows", len(rows))
 		}
 		var bit10, row10 float64
 		for _, r := range rows {
 			if r.Selectivity == "10%" {
-				if r.Backend == "bitmapstore" {
+				switch r.Backend {
+				case "bitmapstore":
 					bit10 = float64(r.Time)
-				} else {
+				case "rowstore":
 					row10 = float64(r.Time)
 				}
 			}

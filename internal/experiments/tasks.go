@@ -166,13 +166,20 @@ func Fig74(s Scale) ([]TaskTiming, error) {
 }
 
 // BackendRow is one bar of Figure 7.5: one back-end at one selectivity and
-// group count.
+// group count. RowsScanned and SegmentsSkipped are the engine-counter deltas
+// of a single execution, printed side by side so the back-ends' work is
+// comparable under one semantic: rows the executor actually visited (the row
+// store visits the whole table per scan, the bitmap store its intersected
+// candidate set, the column store the segments its zone maps could not prove
+// empty — see docs/ARCHITECTURE.md).
 type BackendRow struct {
-	Backend     string
-	Dataset     string
-	Selectivity string // "10%" or "100%"
-	Groups      int
-	Time        time.Duration
+	Backend         string
+	Dataset         string
+	Selectivity     string // "10%" or "100%"
+	Groups          int
+	Time            time.Duration
+	RowsScanned     int64
+	SegmentsSkipped int64
 }
 
 // Fig75Groups are the group counts Figure 7.5 sweeps.
@@ -192,23 +199,21 @@ func Fig75(s Scale) ([]BackendRow, error) {
 		tb := workload.GroupSweep(s.sweepRows(), zCard, xCard, 13)
 		row := engine.NewRowStore(tb)
 		bit := engine.NewBitmapStore(tb)
+		col := engine.NewColumnStore(tb)
 		for _, sel := range []string{"10%", "100%"} {
 			sql := "SELECT x, SUM(y) AS s, z FROM sweep GROUP BY z, x ORDER BY z, x"
 			if sel == "10%" {
 				sql = "SELECT x, SUM(y) AS s, z FROM sweep WHERE p1 = 'yes' GROUP BY z, x ORDER BY z, x"
 			}
-			for _, db := range []engine.DB{row, bit} {
-				best, err := bestOf(3, db, sql)
+			for _, db := range []engine.DB{row, bit, col} {
+				r, err := bestOf(3, db, sql)
 				if err != nil {
 					return nil, err
 				}
-				out = append(out, BackendRow{
-					Backend:     db.Name(),
-					Dataset:     "synthetic",
-					Selectivity: sel,
-					Groups:      groups,
-					Time:        best,
-				})
+				r.Dataset = "synthetic"
+				r.Selectivity = sel
+				r.Groups = groups
+				out = append(out, r)
 			}
 		}
 	}
@@ -217,22 +222,27 @@ func Fig75(s Scale) ([]BackendRow, error) {
 
 // bestOf runs the query n times (after one warm-up) and returns the fastest
 // execution, the standard way to suppress allocator and cache noise in
-// micro-comparisons.
-func bestOf(n int, db engine.DB, sql string) (time.Duration, error) {
+// micro-comparisons. The per-execution counters are a single run's delta
+// (they are deterministic, unlike the timing).
+func bestOf(n int, db engine.DB, sql string) (BackendRow, error) {
 	if _, err := db.ExecuteSQL(sql); err != nil {
-		return 0, err
+		return BackendRow{}, err
 	}
-	best := time.Duration(0)
+	row := BackendRow{Backend: db.Name()}
+	before := db.Counters()
 	for i := 0; i < n; i++ {
 		start := time.Now()
 		if _, err := db.ExecuteSQL(sql); err != nil {
-			return 0, err
+			return BackendRow{}, err
 		}
-		if d := time.Since(start); best == 0 || d < best {
-			best = d
+		if d := time.Since(start); row.Time == 0 || d < row.Time {
+			row.Time = d
 		}
 	}
-	return best, nil
+	after := db.Counters()
+	row.RowsScanned = (after.RowsScanned - before.RowsScanned) / int64(n)
+	row.SegmentsSkipped = (after.SegmentsSkipped - before.SegmentsSkipped) / int64(n)
+	return row, nil
 }
 
 // Fig75Census reproduces Figure 7.5 (c): the same back-end comparison on the
@@ -241,6 +251,7 @@ func Fig75Census(s Scale) ([]BackendRow, error) {
 	tb := CensusDataset(s)
 	row := engine.NewRowStore(tb)
 	bit := engine.NewBitmapStore(tb)
+	col := engine.NewColumnStore(tb)
 	var out []BackendRow
 	for _, sel := range []string{"10%", "100%"} {
 		sql := "SELECT age, SUM(wage_per_hour) AS s, occupation FROM census GROUP BY occupation, age ORDER BY occupation, age"
@@ -249,16 +260,15 @@ func Fig75Census(s Scale) ([]BackendRow, error) {
 			// predicate for ~10%.
 			sql = "SELECT age, SUM(wage_per_hour) AS s, occupation FROM census WHERE workclass = 'Federal' AND marital_status != 'Widowed' GROUP BY occupation, age ORDER BY occupation, age"
 		}
-		for _, db := range []engine.DB{row, bit} {
-			best, err := bestOf(3, db, sql)
+		for _, db := range []engine.DB{row, bit, col} {
+			r, err := bestOf(3, db, sql)
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, BackendRow{
-				Backend: db.Name(), Dataset: "census", Selectivity: sel,
-				Groups: tb.Column("occupation").Cardinality() * 70,
-				Time:   best,
-			})
+			r.Dataset = "census"
+			r.Selectivity = sel
+			r.Groups = tb.Column("occupation").Cardinality() * 70
+			out = append(out, r)
 		}
 	}
 	return out, nil

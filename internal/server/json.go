@@ -57,11 +57,14 @@ type ResultJSON struct {
 // and a coalesced shared scan's cost is inherently joint. Treat it as an
 // indicator per request; the per-dataset counters on /stats are exact.
 type RunStatsJSON struct {
-	SQLQueries    int     `json:"sqlQueries"`
-	Requests      int     `json:"requests"`
-	RowsScanned   int64   `json:"rowsScanned"`
-	QueryTimeMs   float64 `json:"queryTimeMs"`
-	ProcessTimeMs float64 `json:"processTimeMs"`
+	SQLQueries  int   `json:"sqlQueries"`
+	Requests    int   `json:"requests"`
+	RowsScanned int64 `json:"rowsScanned"`
+	// SegmentsSkipped is nonzero only on the column backend: segments the
+	// zone maps proved empty for this request's plans.
+	SegmentsSkipped int64   `json:"segmentsSkipped"`
+	QueryTimeMs     float64 `json:"queryTimeMs"`
+	ProcessTimeMs   float64 `json:"processTimeMs"`
 	// Process-phase work: tuples scored and distance calls made for this
 	// execution, with the subset the top-k pruning kernels abandoned early.
 	TuplesEvaluated int64 `json:"tuplesEvaluated"`
@@ -137,6 +140,7 @@ func EncodeStats(s zexec.Stats) RunStatsJSON {
 		SQLQueries:      s.SQLQueries,
 		Requests:        s.Requests,
 		RowsScanned:     s.RowsScanned,
+		SegmentsSkipped: s.SegmentsSkipped,
 		QueryTimeMs:     float64(s.QueryTime.Microseconds()) / 1000,
 		ProcessTimeMs:   float64(s.ProcessTime.Microseconds()) / 1000,
 		TuplesEvaluated: s.Process.Tuples,

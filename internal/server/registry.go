@@ -7,11 +7,14 @@
 //
 // Stacking, per dataset, bottom to top:
 //
-//	engine.DB (RowStore | BitmapStore)   one immutable store, shared read-only
-//	  coalescingDB                       queued submissions fold into one ExecuteBatch
-//	    cachingDB                        LRU results keyed by canonical plan SQL
-//	      client.Session                 ZQL parse/execute + bounded history
-//	        HTTP handlers                /query /spec /recommend /datasets /stats
+//	engine.DB (row | bitmap | column)   one immutable store, shared read-only
+//	  coalescingDB                      queued submissions fold into one ExecuteBatch
+//	    cachingDB                       LRU results keyed by canonical plan SQL
+//	      client.Session                ZQL parse/execute + bounded history
+//	        HTTP handlers               /query /spec /recommend /datasets /stats
+//
+// docs/OPERATIONS.md is the operator-facing reference for the endpoints,
+// counters, and tuning knobs this package exposes.
 package server
 
 import (
@@ -32,7 +35,7 @@ const DefaultCacheEntries = 1024
 
 // Config tunes one registered dataset.
 type Config struct {
-	// Backend selects the store: "row" (default) or "bitmap".
+	// Backend selects the store: "row" (default), "bitmap", or "column".
 	Backend string
 	// Opt names the default ZQL batching level for requests that do not
 	// carry one: "noopt", "intraline", "intratask", or "intertask"
@@ -99,7 +102,7 @@ func (d *Dataset) recordProcess(s zexec.ProcessStats) {
 // Name returns the registry name of the dataset.
 func (d *Dataset) Name() string { return d.name }
 
-// Backend returns the store kind, "row" or "bitmap".
+// Backend returns the store kind: "row", "bitmap", or "column".
 func (d *Dataset) Backend() string { return d.backend }
 
 // Table returns the immutable base table.
@@ -117,13 +120,16 @@ type DatasetStats struct {
 	Rows    int    `json:"rows"`
 	// Engine counters are cumulative over the real store, so cache hits
 	// leave RowsScanned untouched — the visible win of the cache.
-	Queries     int64         `json:"queries"`
-	RowsScanned int64         `json:"rowsScanned"`
-	Cache       CacheStats    `json:"cache"`
-	Coalesce    BatchStats    `json:"coalesce"`
-	Process     ProcessTotals `json:"process"`
-	HTTP        HTTPStats     `json:"http"`
-	History     int           `json:"historyEntries"`
+	// SegmentsSkipped is nonzero only on the column backend: segments its
+	// zone maps proved empty and never scanned.
+	Queries         int64         `json:"queries"`
+	RowsScanned     int64         `json:"rowsScanned"`
+	SegmentsSkipped int64         `json:"segmentsSkipped"`
+	Cache           CacheStats    `json:"cache"`
+	Coalesce        BatchStats    `json:"coalesce"`
+	Process         ProcessTotals `json:"process"`
+	HTTP            HTTPStats     `json:"http"`
+	History         int           `json:"historyEntries"`
 }
 
 // ProcessTotals aggregates process-phase work over every query the dataset
@@ -147,12 +153,13 @@ type HTTPStats struct {
 func (d *Dataset) Stats() DatasetStats {
 	c := d.store.Counters()
 	return DatasetStats{
-		Backend:     d.backend,
-		Rows:        d.table.NumRows(),
-		Queries:     c.Queries,
-		RowsScanned: c.RowsScanned,
-		Cache:       d.cache.Stats(),
-		Coalesce:    d.bat.stats(),
+		Backend:         d.backend,
+		Rows:            d.table.NumRows(),
+		Queries:         c.Queries,
+		RowsScanned:     c.RowsScanned,
+		SegmentsSkipped: c.SegmentsSkipped,
+		Cache:           d.cache.Stats(),
+		Coalesce:        d.bat.stats(),
 		Process: ProcessTotals{
 			Tuples:        d.procTuples.Load(),
 			DistCalls:     d.procDist.Load(),
@@ -203,8 +210,10 @@ func (r *Registry) AddTable(t *dataset.Table, cfg Config) (*Dataset, error) {
 		store = engine.NewRowStore(t)
 	case "bitmap":
 		store = engine.NewBitmapStore(t)
+	case "column":
+		store = engine.NewColumnStore(t)
 	default:
-		return nil, fmt.Errorf("server: unknown backend %q (want row or bitmap)", cfg.Backend)
+		return nil, fmt.Errorf("server: unknown backend %q (want row, bitmap, or column)", cfg.Backend)
 	}
 	if cfg.Parallelism > 0 {
 		store.(engine.Parallel).SetParallelism(cfg.Parallelism)

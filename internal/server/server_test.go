@@ -121,6 +121,42 @@ func TestQueryMatchesSessionByteForByte(t *testing.T) {
 	}
 }
 
+// TestColumnBackendMatchesSession pins the column backend into the serving
+// stack: responses must be byte-identical to an in-process row-store session
+// (results are back-end independent), and /stats must carry the zone-map
+// counter.
+func TestColumnBackendMatchesSession(t *testing.T) {
+	ts, reg := newTestServer(t, Config{Backend: "column"})
+	ref := referenceSession(t)
+
+	env := postQuery(t, ts.URL+"/query", QueryRequest{Dataset: "sales", ZQL: risingQuery})
+	want, err := ref.Query(risingQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := encodePayload(t, EncodeResult(want))
+	if !bytes.Equal(env.Result, wantBytes) {
+		t.Errorf("column-backend result differs from row-store session:\nserver: %.200s\nlocal:  %.200s", env.Result, wantBytes)
+	}
+	st := reg.Get("sales").Stats()
+	if st.Backend != "column" {
+		t.Errorf("backend = %q, want column", st.Backend)
+	}
+	if st.RowsScanned == 0 {
+		t.Error("column backend reported zero rows scanned after a cold query")
+	}
+
+	// A constraint on a value absent from the table lets the zone maps
+	// prove every segment empty, which must surface on /stats.
+	skipQuery := `
+NAME | X      | Y         | Z                 | CONSTRAINTS
+*f1  | 'year' | 'revenue' | v1 <- 'product'.* | country='nowhere'`
+	postQuery(t, ts.URL+"/query", QueryRequest{Dataset: "sales", ZQL: skipQuery})
+	if st = reg.Get("sales").Stats(); st.SegmentsSkipped == 0 {
+		t.Error("impossible constraint skipped no segments on /stats")
+	}
+}
+
 func TestQueryWithInputsMatchesSession(t *testing.T) {
 	ts, _ := newTestServer(t, Config{})
 	ref := referenceSession(t)

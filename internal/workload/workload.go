@@ -308,10 +308,29 @@ func Housing(cfg HousingConfig) *dataset.Table {
 	return t
 }
 
+// GroupSweepClustered builds the same schema and value distributions as
+// GroupSweep but with rows arriving ordered by z — the layout of data loaded
+// per tenant, per partition, or in time order, where each slice occupies a
+// contiguous run of rows. Clustered layouts are what make column-store zone
+// maps effective: a per-slice predicate can prove most segments empty.
+func GroupSweepClustered(rows, zCard, xCard int, seed int64) *dataset.Table {
+	return groupSweep(rows, zCard, xCard, seed, func(i int, _ *rand.Rand) int {
+		return i * zCard / rows // contiguous run per z value
+	})
+}
+
 // GroupSweep builds a sales-like table with exactly the requested number of
 // groups = zCard × xCard, the knob Figures 7.4 and 7.5 sweep, holding row
 // count fixed.
 func GroupSweep(rows, zCard, xCard int, seed int64) *dataset.Table {
+	return groupSweep(rows, zCard, xCard, seed, func(_ int, rng *rand.Rand) int {
+		return rng.Intn(zCard)
+	})
+}
+
+// groupSweep is the shared generator; zOf decides each row's z group, which
+// is the only thing the clustered and shuffled variants differ in.
+func groupSweep(rows, zCard, xCard int, seed int64, zOf func(i int, rng *rand.Rand) int) *dataset.Table {
 	t := dataset.NewTable("sweep", []dataset.Field{
 		{Name: "z", Kind: dataset.KindString},
 		{Name: "x", Kind: dataset.KindInt},
@@ -321,7 +340,7 @@ func GroupSweep(rows, zCard, xCard int, seed int64) *dataset.Table {
 	})
 	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < rows; i++ {
-		z := rng.Intn(zCard)
+		z := zOf(i, rng)
 		x := rng.Intn(xCard)
 		slope, spike := trendShape(z)
 		y := 100 + slope*float64(x)/float64(xCard)*100 + rng.Float64()*10

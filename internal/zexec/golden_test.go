@@ -18,9 +18,10 @@ import (
 
 // The golden corpus is the differential oracle for the process-phase
 // executor: every script under testdata/zql runs at every optimization level
-// (NoOpt is the sequential, unpruned reference), on both store back-ends,
-// and with the worker pool forced on and pruning toggled — and every
-// configuration must render byte-identically to the checked-in golden file.
+// (NoOpt is the sequential, unpruned reference), on all three store
+// back-ends, and with the worker pool forced on and pruning toggled — and
+// every configuration must render byte-identically to the checked-in golden
+// file.
 //
 // Regenerate goldens (from the row-store O0 oracle) after an intentional
 // result change:
@@ -159,8 +160,9 @@ func TestGoldenCorpus(t *testing.T) {
 			backends := map[string]engine.DB{
 				"row":    engine.NewRowStore(tbl),
 				"bitmap": engine.NewBitmapStore(tbl),
+				"column": engine.NewColumnStore(tbl),
 			}
-			for _, backend := range []string{"row", "bitmap"} {
+			for _, backend := range []string{"row", "bitmap", "column"} {
 				db := backends[backend]
 				for _, gv := range goldenVariants() {
 					t.Run(backend+"/"+gv.name, func(t *testing.T) {

@@ -13,7 +13,7 @@ func (ex *executor) run() (*Result, error) {
 	if ex.table == nil {
 		return nil, fmt.Errorf("zexec: back-end has no table %q", ex.opts.Table)
 	}
-	scannedBefore := ex.db.Counters().RowsScanned
+	countersBefore := ex.db.Counters()
 	ex.bindings = make(map[string]*binding)
 	ex.groups = make(map[string]*varGroup)
 	ex.colls = make(map[string]*Collection)
@@ -32,7 +32,9 @@ func (ex *executor) run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex.stats.RowsScanned = ex.db.Counters().RowsScanned - scannedBefore
+	countersAfter := ex.db.Counters()
+	ex.stats.RowsScanned = countersAfter.RowsScanned - countersBefore.RowsScanned
+	ex.stats.SegmentsSkipped = countersAfter.SegmentsSkipped - countersBefore.SegmentsSkipped
 	ex.stats.Process = ex.proc.snapshot()
 	return ex.assemble(), nil
 }
