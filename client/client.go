@@ -17,6 +17,7 @@ import (
 	"repro/internal/recommend"
 	"repro/internal/vis"
 	"repro/internal/zexec"
+	"repro/internal/zpack"
 	"repro/internal/zql"
 )
 
@@ -188,6 +189,28 @@ func OpenCSV(name, path string, opts ...Option) (*Session, error) {
 		return nil, err
 	}
 	return Open(t, opts...)
+}
+
+// OpenZpack starts a session over a persistent .zpack dataset (see
+// docs/FORMAT.md). The file opens by its footer alone and segments load
+// lazily as queries touch them, so opening is cheap regardless of data
+// size. The back-end is always the column store — it is the only executor
+// that drives lazy, zone-map-skipped loading — so WithBackend options other
+// than "column" are rejected.
+func OpenZpack(path string, opts ...Option) (*Session, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.backend != "" && cfg.backend != "column" {
+		return nil, fmt.Errorf("client: zpack sessions require the column backend, not %q", cfg.backend)
+	}
+	r, err := zpack.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	db := engine.NewColumnStoreFromSource(r)
+	return &Session{db: db, table: r.Name(), opt: cfg.opt, metric: cfg.metric, seed: cfg.seed, pworkers: cfg.pworkers, histLimit: cfg.histLimit}, nil
 }
 
 // Table returns the session's table name.

@@ -1,15 +1,19 @@
 // Command zserved is the zenvisage query server: the HTTP JSON API between a
 // browser front-end and the ZQL engine (the serving layer of the paper's
-// Figure 6.1 architecture). It loads one or more named datasets — CSV files
-// or built-in demo generators — and serves concurrent /query, /spec, and
-// /recommend requests over them, coalescing concurrent work into shared-scan
-// batches and caching results keyed by canonical plan SQL.
+// Figure 6.1 architecture). It loads one or more named datasets — persistent
+// .zpack files, CSV files, or built-in demo generators — and serves
+// concurrent /query, /spec, and /recommend requests over them, coalescing
+// concurrent work into shared-scan batches and caching results keyed by
+// canonical plan SQL. Datasets served from .zpack files start warm (footer
+// only, no CSV parse, segments load lazily) and accept
+// POST /datasets/{name}/append.
 //
 // Usage:
 //
 //	zserved -demo sales
 //	zserved -data flights=flights.csv -data sales=sales.csv -backend bitmap
-//	zserved -demo sales,housing -addr :8421 -cache 4096
+//	zserved -data warehouse/            # every *.zpack in the directory
+//	zserved -data sales=sales.zpack -cache 4096
 //
 // Then:
 //
@@ -27,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -52,8 +57,9 @@ func main() {
 		metric   = flag.String("metric", "euclidean", "distance metric D: euclidean, dtw, kl, emd (raw- prefix skips normalization)")
 		seed     = flag.Int64("seed", 42, "seed for R (k-means) determinism")
 		demoRows = flag.Int("demo-rows", 50000, "row count for the demo generators")
+		grace    = flag.Duration("grace", 10*time.Second, "graceful shutdown drain window for in-flight queries")
 	)
-	flag.Func("data", "dataset to serve as name=path.csv (repeatable)", func(v string) error {
+	flag.Func("data", "dataset to serve: name=path.csv, name=path.zpack, or a directory of *.zpack files (repeatable)", func(v string) error {
 		dataSpecs = append(dataSpecs, v)
 		return nil
 	})
@@ -76,15 +82,9 @@ func main() {
 
 	reg := server.NewRegistry()
 	for _, spec := range dataSpecs {
-		name, path, ok := strings.Cut(spec, "=")
-		if !ok || name == "" || path == "" {
-			log.Fatalf("bad -data %q (want name=path.csv)", spec)
-		}
-		d, err := reg.LoadCSV(name, path, cfg)
-		if err != nil {
+		if err := loadDataSpec(reg, spec, cfg); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("loaded %s: %d rows from %s (%s backend)", d.Name(), d.Table().NumRows(), path, d.Backend())
 	}
 	if *demos != "" {
 		for _, name := range strings.Split(*demos, ",") {
@@ -120,13 +120,67 @@ func main() {
 	case err := <-errc:
 		log.Fatal(err)
 	case s := <-sig:
-		log.Printf("%v: shutting down", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful shutdown: stop accepting connections, let in-flight
+		// queries drain for up to -grace, then exit. With zpack-backed
+		// datasets every Flush already synced, so a restart over the same
+		// -data directory comes back warm.
+		log.Printf("%v: draining in-flight queries (up to %s)", s, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
+		log.Print("drained; bye")
 	}
+}
+
+// loadDataSpec registers one -data value: "name=path.csv", "name=path.zpack",
+// or a bare directory whose *.zpack files are each served under their base
+// name.
+func loadDataSpec(reg *server.Registry, spec string, cfg server.Config) error {
+	name, path, ok := strings.Cut(spec, "=")
+	if !ok {
+		st, err := os.Stat(spec)
+		if err != nil {
+			return fmt.Errorf("bad -data %q (want name=path.csv, name=path.zpack, or a directory): %w", spec, err)
+		}
+		if !st.IsDir() {
+			return fmt.Errorf("bad -data %q: bare paths must be directories of *.zpack files; use name=%s for a single file", spec, spec)
+		}
+		matches, err := filepath.Glob(filepath.Join(spec, "*.zpack"))
+		if err != nil {
+			return err
+		}
+		if len(matches) == 0 {
+			return fmt.Errorf("-data %q: no *.zpack files found", spec)
+		}
+		for _, m := range matches {
+			if err := loadDataSpec(reg, strings.TrimSuffix(filepath.Base(m), ".zpack")+"="+m, cfg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if name == "" || path == "" {
+		return fmt.Errorf("bad -data %q (want name=path.csv or name=path.zpack)", spec)
+	}
+	if strings.HasSuffix(path, ".zpack") {
+		zcfg := cfg
+		zcfg.Backend = "column" // the only backend with lazy segment loading
+		d, err := reg.AddZpack(name, path, zcfg)
+		if err != nil {
+			return err
+		}
+		log.Printf("loaded %s: %d rows, %d segments from %s (column backend, warm, appendable)",
+			d.Name(), d.Table().NumRows(), d.Segments(), path)
+		return nil
+	}
+	d, err := reg.LoadCSV(name, path, cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("loaded %s: %d rows from %s (%s backend)", d.Name(), d.Table().NumRows(), path, d.Backend())
+	return nil
 }
 
 // demoTable builds one of the built-in synthetic datasets at roughly the

@@ -14,6 +14,11 @@ type Field struct {
 // Column is the physical storage for one field. Categorical columns are
 // dictionary-encoded: codes[i] indexes into dict. Numeric columns use the
 // typed slices directly.
+//
+// A column normally materializes through Append*; a lazily-backed table
+// (zpack) instead Presizes the storage and fills row ranges in place as
+// segments load, optionally installing a distinct-value cache and an
+// ensure-loaded hook so metadata reads stay correct before the data lands.
 type Column struct {
 	Field Field
 
@@ -23,6 +28,9 @@ type Column struct {
 
 	ints   []int64
 	floats []float64
+
+	distinct []Value // optional precomputed DistinctSorted (lazy backings)
+	ensure   func()  // optional hook: materialize all rows before a raw read
 }
 
 // NewColumn returns an empty column of the given field.
@@ -126,9 +134,49 @@ func (c *Column) CodeOf(s string) int32 {
 // Cardinality returns the number of distinct values of a categorical column.
 func (c *Column) Cardinality() int { return len(c.dict) }
 
+// Presize replaces the column's storage with zeroed slices of length n, the
+// layout a lazily-loading backing fills in place: the slice headers never
+// change after this, so readers that captured them observe loaded data.
+func (c *Column) Presize(n int) {
+	switch c.Field.Kind {
+	case KindString:
+		c.codes = make([]int32, n)
+	case KindInt:
+		c.ints = make([]int64, n)
+	default:
+		c.floats = make([]float64, n)
+	}
+}
+
+// SetDict installs the full dictionary of a categorical column up front
+// (lazy backings persist dictionaries in their metadata footer).
+func (c *Column) SetDict(dict []string) {
+	c.dict = append([]string(nil), dict...)
+	c.dictIx = make(map[string]int32, len(dict))
+	for i, s := range c.dict {
+		c.dictIx[s] = int32(i)
+	}
+}
+
+// SetDistinctSorted installs a precomputed DistinctSorted result, so a
+// lazily-backed numeric column can answer distinct-value enumeration (axis
+// '*' expansion) from metadata without materializing any data.
+func (c *Column) SetDistinctSorted(vals []Value) { c.distinct = vals }
+
+// SetEnsureLoaded installs a hook DistinctSorted calls before scanning raw
+// numeric data, so a lazily-backed column can materialize itself first.
+func (c *Column) SetEnsureLoaded(f func()) { c.ensure = f }
+
 // DistinctSorted returns the sorted distinct values of the column. For
-// numeric columns this scans; for categorical it sorts the dictionary.
+// numeric columns this scans (materializing a lazy backing first); for
+// categorical it sorts the dictionary.
 func (c *Column) DistinctSorted() []Value {
+	if c.distinct != nil {
+		return append([]Value(nil), c.distinct...)
+	}
+	if c.ensure != nil && c.Field.Kind != KindString {
+		c.ensure()
+	}
 	switch c.Field.Kind {
 	case KindString:
 		vals := append([]string(nil), c.dict...)
@@ -187,6 +235,19 @@ func NewTable(name string, fields []Field) *Table {
 		t.cols = append(t.cols, c)
 		t.byName[f.Name] = c
 	}
+	return t
+}
+
+// NewPresized creates a table whose columns are zeroed storage of the given
+// row count, ready to be filled in place by a lazy backing (zpack). The
+// table reports rows rows immediately; cells read as zero values until
+// their segment loads.
+func NewPresized(name string, fields []Field, rows int) *Table {
+	t := NewTable(name, fields)
+	for _, c := range t.cols {
+		c.Presize(rows)
+	}
+	t.nrows = rows
 	return t
 }
 

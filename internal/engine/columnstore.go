@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"math"
 	"math/bits"
 	"sync"
 
@@ -9,11 +8,8 @@ import (
 	"repro/internal/minisql"
 )
 
-// segmentSize is the number of rows per column-store segment: the unit of
-// zone-map granularity and of vectorized predicate evaluation. 4096 rows
-// keeps a segment's selection bitmap at 64 words and a segment's worth of
-// one float64 column inside L1/L2.
-const segmentSize = 4096
+// segmentSize is the internal alias of SegmentSize (see segsource.go).
+const segmentSize = SegmentSize
 
 // ColumnStore is a columnar vectorized executor over internal/dataset's
 // native layout (dictionary codes plus raw measure slices). Each table is
@@ -36,151 +32,36 @@ type ColumnStore struct {
 	stats  counters
 }
 
-// colTable is the segmented view of one base table.
+// colTable is the segmented view of one base table. src is the segment
+// source the data materializes through: a no-op memSource for in-memory
+// tables, a lazy reader (zpack) for disk-resident ones. Zone maps and
+// integer dictionaries always come from the source's metadata, so the scan
+// can prove segments empty without ever loading them.
 type colTable struct {
 	t        *dataset.Table
+	src      SegmentSource
 	nseg     int
-	zones    map[string]*colZone    // by column name
-	intCodes map[string]*intCodeCol // low-cardinality int columns, by name
+	zones    map[string]*ZoneData // by column name
+	intCodes map[string]*IntDict  // low-cardinality int columns, by name
 }
 
-// maxIntCodeCardinality bounds the distinct-value count an integer column
-// may have and still get a build-time dictionary encoding (the same 4096 the
-// bitmap store uses for its integer value indexes). Encoded columns let the
-// flat group-by accumulator treat integer keys like categorical ones.
-const maxIntCodeCardinality = 4096
-
-// intCodeCol is a build-time dictionary encoding of an integer column:
-// codes[i] indexes into the sorted distinct values vals.
-type intCodeCol struct {
-	codes []int32
-	vals  []int64
-}
-
-// colZone holds one column's per-segment zone maps. Numeric columns carry
-// min/max plus a NaN-presence flag (NaN compares false with everything, so
-// it never lands in min/max — but it still matches != predicates);
-// categorical columns carry a presence bitset over dictionary codes (words
-// words per segment).
-type colZone struct {
-	min, max []float64
-	nan      []bool
-	words    int
-	present  []uint64 // nseg * words
-}
-
-func (z *colZone) hasCode(s int, code int32) bool {
-	return z.present[s*z.words+int(code>>6)]&(1<<(uint(code)&63)) != 0
-}
-
-// onlyCode reports whether code is the only dictionary code present in
-// segment s.
-func (z *colZone) onlyCode(s int, code int32) bool {
-	base := s * z.words
-	for w := 0; w < z.words; w++ {
-		p := z.present[base+w]
-		if w == int(code>>6) {
-			p &^= 1 << (uint(code) & 63)
-		}
-		if p != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// anyCode reports whether any code of the want bitset occurs in segment s.
-func (z *colZone) anyCode(s int, want []uint64) bool {
-	base := s * z.words
-	for w := 0; w < z.words; w++ {
-		if z.present[base+w]&want[w] != 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// newColTable partitions t into segments and builds every column's zone map.
-func newColTable(t *dataset.Table) *colTable {
-	n := t.NumRows()
-	nseg := (n + segmentSize - 1) / segmentSize
+// newColTable builds the segmented view over a source's metadata.
+func newColTable(src SegmentSource) *colTable {
+	t := src.Table()
 	ct := &colTable{
 		t:        t,
-		nseg:     nseg,
-		zones:    make(map[string]*colZone, t.NumCols()),
-		intCodes: make(map[string]*intCodeCol),
+		src:      src,
+		nseg:     src.NumSegments(),
+		zones:    make(map[string]*ZoneData, t.NumCols()),
+		intCodes: make(map[string]*IntDict),
 	}
 	for _, c := range t.Columns() {
-		if c.Field.Kind == dataset.KindInt {
-			if ic := encodeIntColumn(c); ic != nil {
-				ct.intCodes[c.Field.Name] = ic
-			}
+		ct.zones[c.Field.Name] = src.Zone(c.Field.Name)
+		if d := src.IntDict(c.Field.Name); d != nil {
+			ct.intCodes[c.Field.Name] = d
 		}
-		z := &colZone{}
-		if c.Field.Kind == dataset.KindString {
-			z.words = (c.Cardinality() + 63) / 64
-			if z.words == 0 {
-				z.words = 1
-			}
-			z.present = make([]uint64, nseg*z.words)
-			for i, code := range c.Codes() {
-				z.present[(i/segmentSize)*z.words+int(code>>6)] |= 1 << (uint(code) & 63)
-			}
-		} else {
-			z.min = make([]float64, nseg)
-			z.max = make([]float64, nseg)
-			z.nan = make([]bool, nseg)
-			for s := 0; s < nseg; s++ {
-				z.min[s] = math.Inf(1)
-				z.max[s] = math.Inf(-1)
-			}
-			update := func(i int, v float64) {
-				s := i / segmentSize
-				if v != v {
-					z.nan[s] = true
-					return
-				}
-				if v < z.min[s] {
-					z.min[s] = v
-				}
-				if v > z.max[s] {
-					z.max[s] = v
-				}
-			}
-			if c.Field.Kind == dataset.KindInt {
-				for i, v := range c.Ints() {
-					update(i, float64(v))
-				}
-			} else {
-				for i, v := range c.Floats() {
-					update(i, v)
-				}
-			}
-		}
-		ct.zones[c.Field.Name] = z
 	}
 	return ct
-}
-
-// encodeIntColumn builds the dictionary encoding of an integer column, or
-// nil when the column has too many distinct values to be worth it.
-func encodeIntColumn(c *dataset.Column) *intCodeCol {
-	distinct := c.DistinctSorted()
-	if len(distinct) > maxIntCodeCardinality {
-		return nil
-	}
-	ic := &intCodeCol{vals: make([]int64, len(distinct))}
-	codeOf := make(map[int64]int32, len(distinct))
-	for i, v := range distinct {
-		ic.vals[i] = v.I
-		codeOf[v.I] = int32(i)
-	}
-	ints := c.Ints()
-	ic.codes = make([]int32, len(ints))
-	for i, v := range ints {
-		ic.codes[i] = codeOf[v]
-	}
-	return ic
 }
 
 // segBounds returns the row range [lo, hi) of segment s.
@@ -193,18 +74,40 @@ func (ct *colTable) segBounds(s int) (lo, hi int) {
 	return lo, hi
 }
 
-// NewColumnStore builds a column store over the given base tables,
+// NewColumnStore builds a column store over the given in-memory base tables,
 // segmenting each and precomputing its zone maps.
 func NewColumnStore(tables ...*dataset.Table) *ColumnStore {
-	s := &ColumnStore{
-		tables: make(map[string]*dataset.Table, len(tables)),
-		cols:   make(map[string]*colTable, len(tables)),
+	srcs := make([]SegmentSource, len(tables))
+	for i, t := range tables {
+		srcs[i] = NewMemSource(t)
 	}
-	for _, t := range tables {
+	return NewColumnStoreFromSource(srcs...)
+}
+
+// NewColumnStoreFromSource builds a column store over segment sources whose
+// column data may materialize lazily: zone maps come from the sources'
+// metadata, and a segment's data is loaded only when a scan first visits it —
+// a segment every plan's zone maps prove empty is never loaded at all.
+func NewColumnStoreFromSource(sources ...SegmentSource) *ColumnStore {
+	s := &ColumnStore{
+		tables: make(map[string]*dataset.Table, len(sources)),
+		cols:   make(map[string]*colTable, len(sources)),
+	}
+	for _, src := range sources {
+		t := src.Table()
 		s.tables[t.Name] = t
-		s.cols[t.Name] = newColTable(t)
+		s.cols[t.Name] = newColTable(src)
 	}
 	return s
+}
+
+// NumSegments returns the segment count of the named table, or 0 (the
+// Segmented interface).
+func (s *ColumnStore) NumSegments(table string) int {
+	if ct := s.cols[table]; ct != nil {
+		return ct.nseg
+	}
+	return 0
 }
 
 // Name identifies the back-end.
@@ -340,7 +243,9 @@ type colEqGroup struct {
 // scanSegments is one worker's shared segment walk serving every plan in the
 // shard. Single-equality plans over one column share a code-routed pass;
 // every other distinct conjunct (keyed by canonical SQL) is evaluated at
-// most once per segment and intersected per plan.
+// most once per segment and intersected per plan. A segment's data is
+// materialized through the table's segment source the first time any plan
+// actually scans it — zone-map-skipped segments are never loaded.
 func (s *ColumnStore) scanSegments(ct *colTable, plans []*Plan, shard []int, results []*Result, errs []error) {
 	sinks := make([]rowSink, len(shard))
 	for k, pi := range shard {
@@ -350,7 +255,7 @@ func (s *ColumnStore) scanSegments(ct *colTable, plans []*Plan, shard []int, res
 	// per-column groups, everything else goes through the shared-conjunct
 	// slots.
 	var groups []*colEqGroup
-	groupOf := make(map[*colZone]*colEqGroup)
+	groupOf := make(map[*ZoneData]*colEqGroup)
 	var slotKs []int
 	for k, pi := range shard {
 		vp := plans[pi].vec
@@ -396,12 +301,28 @@ func (s *ColumnStore) scanSegments(ct *colTable, plans []*Plan, shard []int, res
 	slotDone := make([]bool, len(filters))
 	acc := newSegBits()
 	var scanned, skipped int64
-	for seg := 0; seg < ct.nseg; seg++ {
+	var loadErr error
+	for seg := 0; seg < ct.nseg && loadErr == nil; seg++ {
 		lo, hi := ct.segBounds(seg)
 		for i := range slotDone {
 			slotDone[i] = false
 		}
+		// visit materializes the segment on first touch; filters and sinks
+		// read the table's raw column slices, so the load must land before
+		// either runs. A segment every plan skips is never visited.
 		visited := false
+		visit := func() bool {
+			if visited {
+				return true
+			}
+			if err := ct.src.Load(seg); err != nil {
+				loadErr = err
+				return false
+			}
+			visited = true
+			scanned += int64(hi - lo)
+			return true
+		}
 		for _, g := range groups {
 			live := false
 			for _, f := range g.filters {
@@ -414,9 +335,8 @@ func (s *ColumnStore) scanSegments(ct *colTable, plans []*Plan, shard []int, res
 			if !live {
 				continue
 			}
-			if !visited {
-				visited = true
-				scanned += int64(hi - lo)
+			if !visit() {
+				break
 			}
 			codes, route := g.codes, g.route
 			for i := lo; i < hi; i++ {
@@ -428,14 +348,16 @@ func (s *ColumnStore) scanSegments(ct *colTable, plans []*Plan, shard []int, res
 			}
 		}
 		for _, k := range slotKs {
+			if loadErr != nil {
+				break
+			}
 			vp := plans[shard[k]].vec
 			if vp.skip(seg) {
 				skipped++
 				continue
 			}
-			if !visited {
-				visited = true
-				scanned += int64(hi - lo)
+			if !visit() {
+				break
 			}
 			sink := sinks[k]
 			slots := planSlots[k]
@@ -461,6 +383,14 @@ func (s *ColumnStore) scanSegments(ct *colTable, plans []*Plan, shard []int, res
 	}
 	s.stats.rowsScanned.Add(scanned)
 	s.stats.segmentsSkipped.Add(skipped)
+	if loadErr != nil {
+		// A failed segment load poisons every plan in the shard: each may
+		// have consumed partial data from the scan so far.
+		for _, pi := range shard {
+			errs[pi] = loadErr
+		}
+		return
+	}
 	for k, pi := range shard {
 		results[pi], errs[pi] = sinks[k].finish()
 	}
@@ -522,8 +452,8 @@ func newColSink(p *Plan) rowSink {
 			if ic == nil {
 				return p.newSink()
 			}
-			codes[k] = ic.codes
-			card[k] = len(ic.vals)
+			codes[k] = ic.Codes
+			card[k] = len(ic.Vals)
 		default:
 			return p.newSink()
 		}

@@ -249,13 +249,13 @@ func TestColumnStoreNaNDoesNotVoidNeSkipProof(t *testing.T) {
 
 // TestColumnStoreHighCardinalityIntKey pins the hash-sink fallback for an
 // integer group key with too many distinct values to dictionary-encode
-// (> maxIntCodeCardinality), which no other fixture reaches.
+// (> MaxIntDictCardinality), which no other fixture reaches.
 func TestColumnStoreHighCardinalityIntKey(t *testing.T) {
 	tb := dataset.NewTable("ids", []dataset.Field{
 		{Name: "id", Kind: dataset.KindInt},
 		{Name: "v", Kind: dataset.KindFloat},
 	})
-	n := maxIntCodeCardinality + 500
+	n := MaxIntDictCardinality + 500
 	for i := 0; i < n; i++ {
 		tb.AppendRow(dataset.IV(int64(i*3)), dataset.FV(float64(i%7)))
 	}

@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// SegmentSize is the fixed row count of one column-store segment: the unit
+// of zone-map granularity, of vectorized predicate evaluation, and of the
+// on-disk zpack block layout. 4096 rows keeps a segment's selection bitmap
+// at 64 words and a segment's worth of one float64 column inside L1/L2.
+const SegmentSize = 4096
+
+// MaxIntDictCardinality bounds the distinct-value count an integer column
+// may have and still get a build-time dictionary encoding (the same 4096 the
+// bitmap store uses for its integer value indexes). Encoded columns let the
+// flat group-by accumulator treat integer keys like categorical ones.
+const MaxIntDictCardinality = 4096
+
+// ZoneData holds one column's per-segment zone maps. Numeric columns carry
+// min/max plus a NaN-presence flag (NaN compares false with everything, so
+// it never lands in min/max — but it still matches != predicates);
+// categorical columns carry a presence bitset over dictionary codes (Words
+// words per segment).
+type ZoneData struct {
+	Min, Max []float64 // numeric columns: one entry per segment
+	NaN      []bool
+	Words    int      // categorical columns: bitset words per segment
+	Present  []uint64 // categorical columns: nseg * Words presence bits
+}
+
+func (z *ZoneData) hasCode(s int, code int32) bool {
+	return z.Present[s*z.Words+int(code>>6)]&(1<<(uint(code)&63)) != 0
+}
+
+// onlyCode reports whether code is the only dictionary code present in
+// segment s.
+func (z *ZoneData) onlyCode(s int, code int32) bool {
+	base := s * z.Words
+	for w := 0; w < z.Words; w++ {
+		p := z.Present[base+w]
+		if w == int(code>>6) {
+			p &^= 1 << (uint(code) & 63)
+		}
+		if p != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// anyCode reports whether any code of the want bitset occurs in segment s.
+func (z *ZoneData) anyCode(s int, want []uint64) bool {
+	base := s * z.Words
+	for w := 0; w < z.Words; w++ {
+		if z.Present[base+w]&want[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntDict is the build-time dictionary encoding of a low-cardinality integer
+// column: Codes[i] indexes into the sorted distinct values Vals. For a lazy
+// SegmentSource, Codes spans the full table and is filled in segment by
+// segment alongside the column data.
+type IntDict struct {
+	Vals  []int64
+	Codes []int32
+}
+
+// SegmentSource supplies a segmented table whose column data materializes
+// lazily: the schema, dictionaries, zone maps, and integer dictionaries are
+// available up front (cheap, footer-sized metadata), while the column data of
+// a segment is decoded only when Load is first called for it. This is the
+// seam the zpack persistent format plugs into — zone-map skipping works
+// without ever deserializing skipped segments.
+type SegmentSource interface {
+	// Table returns the base table: full schema, dictionaries, and row count,
+	// with column data slices preallocated but unfilled until Load.
+	Table() *dataset.Table
+	// NumSegments returns the segment count, ceil(rows / SegmentSize).
+	NumSegments() int
+	// Zone returns the named column's zone maps, or nil if unknown.
+	Zone(col string) *ZoneData
+	// IntDict returns the named integer column's dictionary encoding, or nil
+	// when the column is not dictionary-encoded.
+	IntDict(col string) *IntDict
+	// Load materializes segment seg's rows into the table's column slices
+	// (and into IntDict code slices). Load must be safe for concurrent use
+	// and idempotent — the column store calls it for every segment a scan
+	// visits, on every scan; implementations synchronize and load once.
+	Load(seg int) error
+}
+
+// memSource adapts a fully in-memory table to the SegmentSource interface:
+// everything is already materialized, so Load is a no-op. It is what
+// NewColumnStore wraps its tables in, keeping one construction path for the
+// eager and lazy cases.
+type memSource struct {
+	t     *dataset.Table
+	nseg  int
+	zones map[string]*ZoneData
+	dicts map[string]*IntDict
+}
+
+// NewMemSource builds an eager SegmentSource over an in-memory table,
+// computing its zone maps and integer dictionaries up front.
+func NewMemSource(t *dataset.Table) SegmentSource {
+	s := &memSource{
+		t:     t,
+		nseg:  (t.NumRows() + SegmentSize - 1) / SegmentSize,
+		zones: ComputeZones(t),
+		dicts: make(map[string]*IntDict),
+	}
+	for _, c := range t.Columns() {
+		if c.Field.Kind == dataset.KindInt {
+			if d := ComputeIntDict(c); d != nil {
+				s.dicts[c.Field.Name] = d
+			}
+		}
+	}
+	return s
+}
+
+func (s *memSource) Table() *dataset.Table       { return s.t }
+func (s *memSource) NumSegments() int            { return s.nseg }
+func (s *memSource) Zone(col string) *ZoneData   { return s.zones[col] }
+func (s *memSource) IntDict(col string) *IntDict { return s.dicts[col] }
+func (s *memSource) Load(int) error              { return nil }
+
+// ComputeZones builds every column's per-segment zone maps over a fully
+// materialized table. It is the single definition of zone semantics: the
+// in-memory column store uses it at construction and the zpack writer uses
+// it at segment-seal time, so the skipping proofs agree byte for byte.
+func ComputeZones(t *dataset.Table) map[string]*ZoneData {
+	n := t.NumRows()
+	nseg := (n + SegmentSize - 1) / SegmentSize
+	zones := make(map[string]*ZoneData, t.NumCols())
+	for _, c := range t.Columns() {
+		z := &ZoneData{}
+		if c.Field.Kind == dataset.KindString {
+			z.Words = (c.Cardinality() + 63) / 64
+			if z.Words == 0 {
+				z.Words = 1
+			}
+			z.Present = make([]uint64, nseg*z.Words)
+			for i, code := range c.Codes() {
+				z.Present[(i/SegmentSize)*z.Words+int(code>>6)] |= 1 << (uint(code) & 63)
+			}
+		} else {
+			z.Min = make([]float64, nseg)
+			z.Max = make([]float64, nseg)
+			z.NaN = make([]bool, nseg)
+			for s := 0; s < nseg; s++ {
+				z.Min[s] = math.Inf(1)
+				z.Max[s] = math.Inf(-1)
+			}
+			update := func(i int, v float64) {
+				s := i / SegmentSize
+				if v != v {
+					z.NaN[s] = true
+					return
+				}
+				if v < z.Min[s] {
+					z.Min[s] = v
+				}
+				if v > z.Max[s] {
+					z.Max[s] = v
+				}
+			}
+			if c.Field.Kind == dataset.KindInt {
+				for i, v := range c.Ints() {
+					update(i, float64(v))
+				}
+			} else {
+				for i, v := range c.Floats() {
+					update(i, v)
+				}
+			}
+		}
+		zones[c.Field.Name] = z
+	}
+	return zones
+}
+
+// ComputeIntDict builds the dictionary encoding of an integer column, or nil
+// when the column has too many distinct values to be worth it.
+func ComputeIntDict(c *dataset.Column) *IntDict {
+	distinct := c.DistinctSorted()
+	if len(distinct) > MaxIntDictCardinality {
+		return nil
+	}
+	d := &IntDict{Vals: make([]int64, len(distinct))}
+	codeOf := make(map[int64]int32, len(distinct))
+	for i, v := range distinct {
+		d.Vals[i] = v.I
+		codeOf[v.I] = int32(i)
+	}
+	ints := c.Ints()
+	d.Codes = make([]int32, len(ints))
+	for i, v := range ints {
+		d.Codes[i] = codeOf[v]
+	}
+	return d
+}
+
+// Segmented is implemented by back-ends that partition tables into zone-map
+// segments; the serving layer surfaces the count on GET /datasets.
+type Segmented interface {
+	// NumSegments returns the segment count of the named table, or 0.
+	NumSegments(table string) int
+}

@@ -85,7 +85,7 @@ func (f constFilter) eval(lo, hi int, bits []uint64) {
 // catEqFilter is code equality (or inequality) on a categorical column.
 type catEqFilter struct {
 	codes []int32
-	zone  *colZone
+	zone  *ZoneData
 	code  int32
 	neq   bool
 }
@@ -119,7 +119,7 @@ func (f *catEqFilter) eval(lo, hi int, bits []uint64) {
 // and LIKE patterns over categorical columns compile to this.
 type catSetFilter struct {
 	codes []int32
-	zone  *colZone
+	zone  *ZoneData
 	want  []uint64 // bitset over dictionary codes
 }
 
@@ -140,12 +140,12 @@ func (f *catSetFilter) eval(lo, hi int, bits []uint64) {
 type numRangeFilter struct {
 	ints   []int64
 	floats []float64
-	zone   *colZone
+	zone   *ZoneData
 	lo, hi float64
 }
 
 func (f *numRangeFilter) skip(s int) bool {
-	return f.zone.max[s] < f.lo || f.zone.min[s] > f.hi
+	return f.zone.Max[s] < f.lo || f.zone.Min[s] > f.hi
 }
 
 func (f *numRangeFilter) eval(lo, hi int, bits []uint64) {
@@ -172,7 +172,7 @@ func (f *numRangeFilter) eval(lo, hi int, bits []uint64) {
 type numNeFilter struct {
 	ints   []int64
 	floats []float64
-	zone   *colZone
+	zone   *ZoneData
 	val    float64
 }
 
@@ -180,7 +180,7 @@ func (f *numNeFilter) skip(s int) bool {
 	// min == max == val proves every non-NaN row equals val; a NaN row
 	// still matches != (NaN compares unequal to everything), so its
 	// presence voids the proof.
-	return f.zone.min[s] == f.val && f.zone.max[s] == f.val && !f.zone.nan[s]
+	return f.zone.Min[s] == f.val && f.zone.Max[s] == f.val && !f.zone.NaN[s]
 }
 
 func (f *numNeFilter) eval(lo, hi int, bits []uint64) {
@@ -208,13 +208,13 @@ func (f *numNeFilter) eval(lo, hi int, bits []uint64) {
 type numSetFilter struct {
 	ints           []int64
 	floats         []float64
-	zone           *colZone
+	zone           *ZoneData
 	want           map[float64]bool
 	wantLo, wantHi float64
 }
 
 func (f *numSetFilter) skip(s int) bool {
-	return f.wantHi < f.zone.min[s] || f.wantLo > f.zone.max[s]
+	return f.wantHi < f.zone.Min[s] || f.wantLo > f.zone.Max[s]
 }
 
 func (f *numSetFilter) eval(lo, hi int, bits []uint64) {

@@ -1,0 +1,314 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/client"
+	"repro/internal/zpack"
+)
+
+// newZpackServer serves the standard 10000-row sales fixture from a zpack
+// file in a temp dir — the persistent, appendable serving path.
+func newZpackServer(t *testing.T, cfg Config) (*httptest.Server, *Registry, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sales.zpack")
+	if err := zpack.Build(path, testTable()); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	if cfg.Seed == 0 {
+		cfg.Seed = 7
+	}
+	if _, err := reg.AddZpack("sales", path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(reg))
+	t.Cleanup(ts.Close)
+	return ts, reg, path
+}
+
+// TestZpackBackendMatchesSession pins the full warm-restart serving path:
+// responses over a zpack file must be byte-identical to an in-process
+// session over the in-memory table the file was built from.
+func TestZpackBackendMatchesSession(t *testing.T) {
+	ts, reg, _ := newZpackServer(t, Config{})
+	ref := referenceSession(t)
+
+	env := postQuery(t, ts.URL+"/query", QueryRequest{Dataset: "sales", ZQL: risingQuery})
+	want, err := ref.Query(risingQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := encodePayload(t, EncodeResult(want))
+	if !bytes.Equal(env.Result, wantBytes) {
+		t.Errorf("zpack-backed result differs from session result:\nserver: %.200s\nlocal:  %.200s", env.Result, wantBytes)
+	}
+	d := reg.Get("sales")
+	if d.Backend() != "column" || !d.Appendable() || d.Segments() != 3 {
+		t.Errorf("dataset = backend %q appendable %v segments %d", d.Backend(), d.Appendable(), d.Segments())
+	}
+}
+
+// salesRow builds one wire-format row for the 10-column sales schema
+// (product, category, city, country, year, month, size, weight, profit,
+// revenue).
+func salesRow(product string, year int, revenue float64) []any {
+	return []any{product, "cat_x", "city_1", "country_1", float64(year), float64(6), 1.5, 2.5, revenue / 2, revenue}
+}
+
+func appendRows(t *testing.T, url, name string, rows [][]any) (AppendResponse, *http.Response, []byte) {
+	t.Helper()
+	resp, raw := post(t, url+"/datasets/"+name+"/append", AppendRequest{Rows: rows})
+	var out AppendResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out, resp, raw
+}
+
+func TestAppendEndpointExtendsAndInvalidates(t *testing.T) {
+	ts, reg, path := newZpackServer(t, Config{})
+
+	countQuery := `
+NAME | X      | Y         | Z
+*f1  | 'year' | 'revenue' | 'product'.'product_appended'`
+	// Baseline: no rows for the yet-unseen product; result caches warm.
+	before := postQuery(t, ts.URL+"/query", QueryRequest{Dataset: "sales", ZQL: countQuery})
+	st := reg.Get("sales").Stats()
+	if st.Cache.Entries == 0 {
+		t.Fatal("expected warm cache entries before append")
+	}
+	if st.Cache.Evictions != 0 {
+		t.Fatalf("evictions = %d before any append", st.Cache.Evictions)
+	}
+	preEntries := st.Cache.Entries
+
+	rows := [][]any{
+		salesRow("product_appended", 2015, 111.5),
+		salesRow("product_appended", 2016, 222.5),
+	}
+	if cols := reg.Get("sales").Table().ColumnNames(); len(cols) != 10 {
+		t.Fatalf("fixture schema changed: %v", cols)
+	}
+	out, resp, raw := appendRows(t, ts.URL, "sales", rows)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status %d: %s", resp.StatusCode, raw)
+	}
+	if out.Appended != 2 || out.Rows != 10002 || out.Segments != 3 {
+		t.Errorf("append response = %+v, want 2 appended, 10002 rows, 3 segments", out)
+	}
+
+	// The swapped-in dataset serves the new rows...
+	after := postQuery(t, ts.URL+"/query", QueryRequest{Dataset: "sales", ZQL: countQuery})
+	if bytes.Equal(before.Result, after.Result) {
+		t.Error("append did not change the query result (stale cache?)")
+	}
+	// ...and matches a fresh in-process session over the extended file.
+	freshReader, err := zpack.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer freshReader.Close()
+	sess, err := client.OpenZpack(path, client.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sess.Query(countQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantBytes := encodePayload(t, EncodeResult(want)); !bytes.Equal(after.Result, wantBytes) {
+		t.Errorf("post-append result differs from fresh session:\nserver: %.200s\nlocal:  %.200s", after.Result, wantBytes)
+	}
+
+	// Cache invalidation is visible on /stats: the pre-append entries were
+	// evicted wholesale, and hit/miss counters carried over.
+	st = reg.Get("sales").Stats()
+	if st.Cache.Evictions < int64(preEntries) {
+		t.Errorf("evictions = %d after replacement, want >= %d", st.Cache.Evictions, preEntries)
+	}
+	if st.HTTP.Queries != 2 {
+		t.Errorf("http query counter = %d after swap, want 2 (carried)", st.HTTP.Queries)
+	}
+	if st.Rows != 10002 {
+		t.Errorf("/stats rows = %d, want 10002", st.Rows)
+	}
+}
+
+func TestAppendSealsSegmentsAndSurvivesRestart(t *testing.T) {
+	ts, reg, path := newZpackServer(t, Config{})
+	// 10000 committed rows: appending 2300 crosses the 3rd segment's 4096
+	// boundary (10000+2300 = 12300 -> 4 segments, tail of 12 rows).
+	batch := make([][]any, 2300)
+	for i := range batch {
+		batch[i] = salesRow("bulk", 2020, float64(i))
+	}
+	out, resp, raw := appendRows(t, ts.URL, "sales", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status %d: %s", resp.StatusCode, raw)
+	}
+	if out.Rows != 12300 || out.Segments != 4 {
+		t.Errorf("append response = %+v, want 12300 rows in 4 segments", out)
+	}
+	if got := reg.Get("sales").Segments(); got != 4 {
+		t.Errorf("registry segments = %d, want 4", got)
+	}
+
+	// Warm restart: a brand-new registry over the same file sees everything
+	// without any CSV in sight, and zone maps still prune for a selective
+	// predicate (the counting reader proves segments loaded < total).
+	reg2 := NewRegistry()
+	d2, err := reg2.AddZpack("sales", path, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Table().NumRows() != 12300 || d2.Segments() != 4 {
+		t.Fatalf("restarted dataset = %d rows, %d segments", d2.Table().NumRows(), d2.Segments())
+	}
+	res, err := d2.Session().Query(`
+NAME | X      | Y         | Z
+*f1  | 'year' | 'revenue' | 'product'.'bulk'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) == 0 || res.Outputs[0].Len() == 0 {
+		t.Fatal("restarted server cannot see appended rows")
+	}
+}
+
+// TestAppendPreservesInt64Precision pins the json.Number decode path: int64
+// values above 2^53 must survive the append byte-exactly (a float64 round
+// trip would silently round them).
+func TestAppendPreservesInt64Precision(t *testing.T) {
+	ts, _, path := newZpackServer(t, Config{})
+	big := int64(1)<<53 + 1 // 9007199254740993, not representable as float64
+	row := salesRow("p_big", 2015, 1)
+	row[4] = json.Number("9007199254740993")
+	_, resp, raw := appendRows(t, ts.URL, "sales", [][]any{row})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status %d: %s", resp.StatusCode, raw)
+	}
+	// Read the committed file back fully materialized — the served table is
+	// lazy, and what matters is the durable value.
+	r, err := zpack.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.LoadAll(); err != nil {
+		t.Fatal(err)
+	}
+	tb := r.Table()
+	got := tb.Column("year").Value(tb.NumRows() - 1).Int()
+	if got != big {
+		t.Errorf("stored year = %d, want %d (precision lost)", got, big)
+	}
+}
+
+func TestAppendErrorPaths(t *testing.T) {
+	ts, _, _ := newZpackServer(t, Config{})
+	t.Run("unknown dataset", func(t *testing.T) {
+		_, resp, _ := appendRows(t, ts.URL, "nope", [][]any{{"a"}})
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("status = %d", resp.StatusCode)
+		}
+	})
+	t.Run("wrong arity", func(t *testing.T) {
+		_, resp, raw := appendRows(t, ts.URL, "sales", [][]any{{"only-one-cell"}})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d: %s", resp.StatusCode, raw)
+		}
+	})
+	t.Run("kind mismatch", func(t *testing.T) {
+		bad := salesRow("p", 2015, 1)
+		bad[0] = float64(3) // product is a string column
+		_, resp, raw := appendRows(t, ts.URL, "sales", [][]any{bad})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d: %s", resp.StatusCode, raw)
+		}
+	})
+	t.Run("fractional int", func(t *testing.T) {
+		bad := salesRow("p", 2015, 1)
+		bad[4] = 2015.5 // year is an int column
+		_, resp, raw := appendRows(t, ts.URL, "sales", [][]any{bad})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d: %s", resp.StatusCode, raw)
+		}
+	})
+	t.Run("not appendable", func(t *testing.T) {
+		reg := NewRegistry()
+		if _, err := reg.AddTable(testTable(), Config{}); err != nil {
+			t.Fatal(err)
+		}
+		ts2 := httptest.NewServer(New(reg))
+		defer ts2.Close()
+		_, resp, raw := appendRows(t, ts2.URL, "sales", [][]any{salesRow("p", 2015, 1)})
+		if resp.StatusCode != http.StatusConflict {
+			t.Errorf("status = %d: %s", resp.StatusCode, raw)
+		}
+	})
+}
+
+// TestAppendUnderConcurrentQueries races appends against queries: every
+// response must be internally consistent (either the old or the new
+// snapshot, never a torn mix), and nothing may error.
+func TestAppendUnderConcurrentQueries(t *testing.T) {
+	ts, _, _ := newZpackServer(t, Config{})
+	query := `
+NAME | X      | Y         | Z
+*f1  | 'year' | 'revenue' | v1 <- 'product'.*`
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b, _ := json.Marshal(QueryRequest{Dataset: "sales", ZQL: query})
+				resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(b))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Sprintf("query status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		rows := [][]any{salesRow(fmt.Sprintf("product_live_%d", i), 2015+i, float64(i))}
+		_, resp, raw := appendRows(t, ts.URL, "sales", rows)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("append %d status %d: %s", i, resp.StatusCode, raw)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	// Final state: all appended products visible.
+	out, resp, _ := appendRows(t, ts.URL, "sales", nil)
+	if resp.StatusCode != http.StatusOK || out.Rows != 10008 {
+		t.Fatalf("final rows = %d (status %d), want 10008", out.Rows, resp.StatusCode)
+	}
+}

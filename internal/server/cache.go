@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -25,8 +26,18 @@ type ResultCache struct {
 	ll        *list.List // front = most recently used
 	items     map[string]*list.Element
 
-	hits   int64
-	misses int64
+	// ctr is a pointer so a successor cache (dataset append swap) can adopt
+	// its predecessor's cell: late increments from requests still running on
+	// the old view land in the same totals, keeping /stats exact.
+	ctr *cacheCounters
+}
+
+// cacheCounters holds the cumulative effectiveness counters that survive
+// dataset snapshot swaps.
+type cacheCounters struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 type cacheEntry struct {
@@ -50,6 +61,7 @@ func NewResultCache(capacity int) *ResultCache {
 		rowBudget: int64(capacity) * cacheRowsPerEntry,
 		ll:        list.New(),
 		items:     make(map[string]*list.Element),
+		ctr:       &cacheCounters{},
 	}
 }
 
@@ -59,10 +71,10 @@ func (c *ResultCache) Get(key string) (*engine.Result, bool) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		c.hits++
+		c.ctr.hits.Add(1)
 		return el.Value.(*cacheEntry).res, true
 	}
-	c.misses++
+	c.ctr.misses.Add(1)
 	return nil, false
 }
 
@@ -96,23 +108,46 @@ func (c *ResultCache) Put(key string, res *engine.Result) {
 		c.ll.Remove(oldest)
 		delete(c.items, e.key)
 		c.rows -= e.rows
+		c.ctr.evictions.Add(1)
 	}
 }
 
-// CacheStats is a point-in-time snapshot of cache effectiveness.
+// InheritStats adopts a predecessor cache's counter cell and counts every
+// entry the predecessor still held as evicted — the dataset
+// replacement/append path, where the old cache is dropped wholesale because
+// its results describe a superseded snapshot. Sharing the cell (rather than
+// copying values) keeps /stats exact and monotonic even while requests on
+// the old view are still completing. Must be called before the new cache
+// serves traffic.
+func (c *ResultCache) InheritStats(prev *ResultCache) {
+	prev.ctr.evictions.Add(int64(prev.Stats().Entries))
+	c.ctr = prev.ctr
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness. Evictions
+// counts LRU/row-budget displacements plus wholesale invalidations when a
+// dataset is replaced by an append.
 type CacheStats struct {
-	Entries  int   `json:"entries"`
-	Capacity int   `json:"capacity"`
-	Rows     int64 `json:"rows"`
-	Hits     int64 `json:"hits"`
-	Misses   int64 `json:"misses"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Rows      int64 `json:"rows"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
 }
 
 // Stats snapshots the cache counters.
 func (c *ResultCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Entries: c.ll.Len(), Capacity: c.cap, Rows: c.rows, Hits: c.hits, Misses: c.misses}
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Capacity:  c.cap,
+		Rows:      c.rows,
+		Hits:      c.ctr.hits.Load(),
+		Misses:    c.ctr.misses.Load(),
+		Evictions: c.ctr.evictions.Load(),
+	}
 }
 
 // cachingDB interposes the result cache between callers and an inner back-end:

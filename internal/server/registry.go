@@ -18,6 +18,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/zexec"
+	"repro/internal/zpack"
 )
 
 // DefaultCacheEntries is the per-dataset result cache capacity when the
@@ -66,11 +68,15 @@ type Config struct {
 
 // Dataset is one registered table with its store, cache, coalescer, and
 // session. All fields are fixed at registration; every method is safe for
-// concurrent use.
+// concurrent use. An append does not mutate a Dataset — it builds a
+// successor around the extended zpack snapshot and swaps it into the
+// registry, so requests already executing against this Dataset finish on
+// the view they started with.
 type Dataset struct {
 	name    string
 	backend string
 	table   *dataset.Table
+	cfg     Config // as registered; appends rebuild the stack from it
 
 	opt     zexec.OptLevel
 	store   engine.DB // the real back-end; counters live here
@@ -78,6 +84,24 @@ type Dataset struct {
 	bat     *batcher
 	session *client.Session
 
+	// zpack backing; nil for in-memory datasets. packW is atomic because
+	// Appendable() reads it from request handlers while recoverWriter may
+	// replace it on a failed append; all writer USE is serialized by the
+	// registry's appendMu.
+	packPath string
+	packR    *zpack.Reader
+	packW    atomic.Pointer[zpack.Writer]
+
+	// ctr is SHARED across a dataset's generations: an append swaps in a
+	// successor Dataset that points at the same counter cell, so increments
+	// from requests still running on the old view land in the totals /stats
+	// reports — the counters stay exact and monotonic across swaps.
+	ctr *dsCounters
+}
+
+// dsCounters holds the per-dataset HTTP and process-phase totals that
+// survive snapshot swaps.
+type dsCounters struct {
 	queries    atomic.Int64
 	specs      atomic.Int64
 	recommends atomic.Int64
@@ -94,9 +118,9 @@ type Dataset struct {
 // recordProcess folds one execution's process-phase counters into the
 // dataset totals.
 func (d *Dataset) recordProcess(s zexec.ProcessStats) {
-	d.procTuples.Add(s.Tuples)
-	d.procDist.Add(s.DistCalls)
-	d.procAbandoned.Add(s.DistAbandoned)
+	d.ctr.procTuples.Add(s.Tuples)
+	d.ctr.procDist.Add(s.DistCalls)
+	d.ctr.procAbandoned.Add(s.DistAbandoned)
 }
 
 // Name returns the registry name of the dataset.
@@ -113,6 +137,19 @@ func (d *Dataset) Session() *client.Session { return d.session }
 
 // Opt returns the dataset's default optimization level.
 func (d *Dataset) Opt() zexec.OptLevel { return d.opt }
+
+// Segments returns the zone-map segment count of the dataset's store, or 0
+// for back-ends that don't segment (row, bitmap).
+func (d *Dataset) Segments() int {
+	if s, ok := d.store.(engine.Segmented); ok {
+		return s.NumSegments(d.table.Name)
+	}
+	return 0
+}
+
+// Appendable reports whether POST /datasets/{name}/append can extend this
+// dataset (zpack-backed datasets only).
+func (d *Dataset) Appendable() bool { return d.packW.Load() != nil }
 
 // DatasetStats aggregates every per-dataset counter for /stats.
 type DatasetStats struct {
@@ -161,26 +198,32 @@ func (d *Dataset) Stats() DatasetStats {
 		Cache:           d.cache.Stats(),
 		Coalesce:        d.bat.stats(),
 		Process: ProcessTotals{
-			Tuples:        d.procTuples.Load(),
-			DistCalls:     d.procDist.Load(),
-			DistAbandoned: d.procAbandoned.Load(),
+			Tuples:        d.ctr.procTuples.Load(),
+			DistCalls:     d.ctr.procDist.Load(),
+			DistAbandoned: d.ctr.procAbandoned.Load(),
 		},
 		HTTP: HTTPStats{
-			Queries:    d.queries.Load(),
-			Specs:      d.specs.Load(),
-			Recommends: d.recommends.Load(),
-			Errors:     d.errors.Load(),
+			Queries:    d.ctr.queries.Load(),
+			Specs:      d.ctr.specs.Load(),
+			Recommends: d.ctr.recommends.Load(),
+			Errors:     d.ctr.errors.Load(),
 		},
 		History: d.session.HistoryLen(),
 	}
 }
 
 // Registry names and owns the served datasets. Registration is expected at
-// startup but is safe at any time; lookups are lock-cheap reads.
+// startup but is safe at any time; lookups are lock-cheap reads. Appends
+// serialize on their own lock so a slow append never blocks queries.
 type Registry struct {
 	mu       sync.RWMutex
 	datasets map[string]*Dataset
+	appendMu sync.Mutex
 }
+
+// ErrNotAppendable marks an append against a dataset without a zpack
+// backing; the HTTP layer maps it to 409 Conflict.
+var ErrNotAppendable = errors.New("server: dataset is not appendable (only zpack-backed datasets accept appends)")
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
@@ -215,6 +258,51 @@ func (r *Registry) AddTable(t *dataset.Table, cfg Config) (*Dataset, error) {
 	default:
 		return nil, fmt.Errorf("server: unknown backend %q (want row, bitmap, or column)", cfg.Backend)
 	}
+	d, err := newDataset(t, store, backend, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.add(d)
+}
+
+// AddZpack registers a persistent zpack dataset under name: the file's
+// footer is read, the table opens lazily, and the store is the column
+// back-end over the reader's segment source — warm start, no CSV parse, no
+// data deserialized until queries touch it. The file also opens for append,
+// backing POST /datasets/{name}/append. cfg.Backend must be empty or
+// "column"; zone-map-driven lazy loading only exists there.
+func (r *Registry) AddZpack(name, path string, cfg Config) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: dataset needs a name")
+	}
+	if cfg.Backend != "" && cfg.Backend != "column" {
+		return nil, fmt.Errorf("server: zpack datasets require the column backend, not %q", cfg.Backend)
+	}
+	cfg.Backend = "column"
+	reader, err := zpack.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	writer, err := zpack.OpenAppend(path)
+	if err != nil {
+		reader.Close()
+		return nil, err
+	}
+	t := reader.Table()
+	t.Name = name
+	d, err := newDataset(t, engine.NewColumnStoreFromSource(reader), "column", cfg)
+	if err != nil {
+		reader.Close()
+		return nil, err
+	}
+	d.packPath, d.packR = path, reader
+	d.packW.Store(writer)
+	return r.add(d)
+}
+
+// newDataset assembles the serving stack — store, cache, coalescer, session
+// — around a table whose store is already built.
+func newDataset(t *dataset.Table, store engine.DB, backend string, cfg Config) (*Dataset, error) {
 	if cfg.Parallelism > 0 {
 		store.(engine.Parallel).SetParallelism(cfg.Parallelism)
 	}
@@ -253,16 +341,22 @@ func (r *Registry) AddTable(t *dataset.Table, cfg Config) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Dataset{
+	return &Dataset{
 		name:    t.Name,
 		backend: backend,
 		table:   t,
+		cfg:     cfg,
 		opt:     opt,
 		store:   store,
 		cache:   cache,
 		bat:     bat,
 		session: sess,
-	}
+		ctr:     &dsCounters{},
+	}, nil
+}
+
+// add installs a built dataset, failing on a taken name.
+func (r *Registry) add(d *Dataset) (*Dataset, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, exists := r.datasets[d.name]; exists {
@@ -279,6 +373,96 @@ func (r *Registry) LoadCSV(name, path string, cfg Config) (*Dataset, error) {
 		return nil, err
 	}
 	return r.AddTable(t, cfg)
+}
+
+// Append extends a zpack-backed dataset with rows and swaps the successor
+// snapshot into the registry. The commit order is what makes the swap
+// snapshot-consistent:
+//
+//  1. rows are appended and flushed to the file (durable before visible);
+//  2. the reader reopens over the extended footer (sharing the descriptor —
+//     committed blocks are append-only, so the old reader stays valid);
+//  3. a fresh stack (store, cache, coalescer, session) is built around the
+//     new snapshot, inheriting the predecessor's cumulative counters, with
+//     the old cache's entries counted as evicted;
+//  4. the registry entry is swapped; in-flight queries finish on the old
+//     view, new requests see the extended one.
+//
+// It returns the successor dataset.
+func (r *Registry) Append(name string, rows []dataset.Row) (*Dataset, error) {
+	r.appendMu.Lock()
+	defer r.appendMu.Unlock()
+	d := r.Get(name)
+	if d == nil {
+		return nil, fmt.Errorf("server: no dataset %q", name)
+	}
+	if !d.Appendable() {
+		return nil, fmt.Errorf("%w: %q has backend %q with no usable zpack file", ErrNotAppendable, name, d.backend)
+	}
+	// Validate arity up front so a bad row cannot leave half a batch
+	// buffered in the writer's tail.
+	for i, row := range rows {
+		if len(row) != d.table.NumCols() {
+			return nil, fmt.Errorf("server: append row %d has %d values, schema has %d columns", i, len(row), d.table.NumCols())
+		}
+	}
+	if len(rows) == 0 {
+		return d, nil
+	}
+	w := d.packW.Load()
+	if err := w.Append(rows); err != nil {
+		d.recoverWriter(w)
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		// The batch may be half-buffered in the writer's tail; a client
+		// retry against that state would commit the rows twice. Rebuild the
+		// writer from the last committed footer so a retry starts clean.
+		d.recoverWriter(w)
+		return nil, err
+	}
+	fresh, err := d.packR.Reopen()
+	if err != nil {
+		// The flush committed; the writer is consistent. The caller sees an
+		// error for durable rows — at-least-once, like any non-idempotent
+		// append API without client-supplied request IDs.
+		return nil, err
+	}
+	t := fresh.Table()
+	t.Name = name
+	nd, err := newDataset(t, engine.NewColumnStoreFromSource(fresh), "column", d.cfg)
+	if err != nil {
+		return nil, err
+	}
+	nd.packPath, nd.packR = d.packPath, fresh
+	nd.packW.Store(w)
+	// Counter continuity: /stats stays exact and monotonic across the swap.
+	// HTTP and process counters are a shared cell (nd adopts d's), the
+	// cache counters are inherited with the dropped entries counted as
+	// evictions, and engine counters live in the store and restart with it
+	// (documented in OPERATIONS.md).
+	nd.ctr = d.ctr
+	nd.cache.InheritStats(d.cache)
+	r.mu.Lock()
+	r.datasets[name] = nd
+	r.mu.Unlock()
+	return nd, nil
+}
+
+// recoverWriter discards a zpack writer whose in-memory state may have
+// diverged from the file (a failed append or flush) and reopens it from the
+// last committed footer. If even that fails the dataset stops accepting
+// appends rather than risking duplicate or torn commits; queries are
+// unaffected either way. Callers hold appendMu, which is what serializes
+// every packW access.
+func (d *Dataset) recoverWriter(w *zpack.Writer) {
+	w.Discard()
+	fresh, err := zpack.OpenAppend(d.packPath)
+	if err != nil {
+		d.packW.Store(nil)
+		return
+	}
+	d.packW.Store(fresh)
 }
 
 // Get returns the named dataset, or nil.

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 
+	"repro/internal/dataset"
 	"repro/internal/frontend"
 	"repro/internal/zexec"
 )
@@ -13,16 +15,21 @@ import (
 // maxBodyBytes bounds request bodies; ZQL text and drawn trends are tiny.
 const maxBodyBytes = 1 << 20
 
+// maxAppendBodyBytes bounds POST /datasets/{name}/append bodies, which carry
+// row data rather than query text.
+const maxAppendBodyBytes = 16 << 20
+
 // Server is the HTTP query server: a mux over a dataset registry.
 //
 // Endpoints:
 //
-//	POST /query      raw ZQL -> executed result
-//	POST /spec       drag-and-drop spec -> ZQL -> executed result
-//	POST /recommend  diverse-trend recommendations for an axis triple
-//	GET  /datasets   registered datasets with schemas
-//	GET  /stats      engine / cache / coalescing / HTTP counters
-//	GET  /healthz    liveness probe
+//	POST /query                   raw ZQL -> executed result
+//	POST /spec                    drag-and-drop spec -> ZQL -> executed result
+//	POST /recommend               diverse-trend recommendations for an axis triple
+//	POST /datasets/{name}/append  extend a zpack-backed dataset with rows
+//	GET  /datasets                registered datasets with schemas
+//	GET  /stats                   engine / cache / coalescing / HTTP counters
+//	GET  /healthz                 liveness probe
 type Server struct {
 	reg *Registry
 	mux *http.ServeMux
@@ -34,6 +41,7 @@ func New(reg *Registry) *Server {
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /spec", s.handleSpec)
 	s.mux.HandleFunc("POST /recommend", s.handleRecommend)
+	s.mux.HandleFunc("POST /datasets/{name}/append", s.handleAppend)
 	s.mux.HandleFunc("GET /datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -123,7 +131,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if d == nil {
 		return
 	}
-	d.queries.Add(1)
+	d.ctr.queries.Add(1)
 	s.execute(w, d, req.ZQL, req.Inputs, req.Opt, "")
 }
 
@@ -183,16 +191,16 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 	if d == nil {
 		return
 	}
-	d.specs.Add(1)
+	d.ctr.specs.Add(1)
 	spec, err := req.Spec.toSpec()
 	if err != nil {
-		d.errors.Add(1)
+		d.ctr.errors.Add(1)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	zqlText, inputs, err := spec.ToZQL()
 	if err != nil {
-		d.errors.Add(1)
+		d.ctr.errors.Add(1)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -205,13 +213,13 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 func (s *Server) execute(w http.ResponseWriter, d *Dataset, zqlText string, inputs map[string][]float64, optName, echoZQL string) {
 	opt, err := optLevel(d, optName)
 	if err != nil {
-		d.errors.Add(1)
+		d.ctr.errors.Add(1)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	res, err := d.session.QueryAt(zqlText, inputs, opt)
 	if err != nil {
-		d.errors.Add(1)
+		d.ctr.errors.Add(1)
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
@@ -249,10 +257,10 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	if d == nil {
 		return
 	}
-	d.recommends.Add(1)
+	d.ctr.recommends.Add(1)
 	recs, err := d.session.Recommend(req.X, req.Y, req.Z, req.K)
 	if err != nil {
-		d.errors.Add(1)
+		d.ctr.errors.Add(1)
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
@@ -268,13 +276,16 @@ type ColumnInfo struct {
 	Kind string `json:"kind"`
 }
 
-// DatasetInfo describes one served dataset.
+// DatasetInfo describes one served dataset: what's loaded (backend, rows,
+// zone-map segments, persistence) and its schema.
 type DatasetInfo struct {
-	Name    string       `json:"name"`
-	Backend string       `json:"backend"`
-	Rows    int          `json:"rows"`
-	Opt     string       `json:"opt"`
-	Columns []ColumnInfo `json:"columns"`
+	Name       string       `json:"name"`
+	Backend    string       `json:"backend"`
+	Rows       int          `json:"rows"`
+	Segments   int          `json:"segments"`
+	Appendable bool         `json:"appendable"`
+	Opt        string       `json:"opt"`
+	Columns    []ColumnInfo `json:"columns"`
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
@@ -284,10 +295,12 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 	}{Datasets: make([]DatasetInfo, len(list))}
 	for i, d := range list {
 		info := DatasetInfo{
-			Name:    d.name,
-			Backend: d.backend,
-			Rows:    d.table.NumRows(),
-			Opt:     d.Opt().String(),
+			Name:       d.name,
+			Backend:    d.backend,
+			Rows:       d.table.NumRows(),
+			Segments:   d.Segments(),
+			Appendable: d.Appendable(),
+			Opt:        d.Opt().String(),
 		}
 		for _, c := range d.table.Columns() {
 			info.Columns = append(info.Columns, ColumnInfo{Name: c.Field.Name, Kind: c.Field.Kind.String()})
@@ -295,6 +308,121 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 		out.Datasets[i] = info
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// AppendRequest is the body of POST /datasets/{name}/append: rows as arrays
+// of cells in schema column order — strings for categorical columns, JSON
+// numbers for numeric ones (integer columns reject fractional values).
+type AppendRequest struct {
+	Rows [][]any `json:"rows"`
+}
+
+// AppendResponse reports the extended dataset after a successful append.
+type AppendResponse struct {
+	Dataset  string `json:"dataset"`
+	Appended int    `json:"appended"`
+	Rows     int    `json:"rows"`
+	Segments int    `json:"segments"`
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req AppendRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAppendBodyBytes))
+	dec.DisallowUnknownFields()
+	// Numbers decode as json.Number, not float64: int64 values above 2^53
+	// would silently lose precision through a float64 round trip.
+	dec.UseNumber()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	d := s.dataset(w, name)
+	if d == nil {
+		return
+	}
+	rows, err := coerceRows(d.Table(), req.Rows)
+	if err != nil {
+		d.ctr.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	nd, err := s.reg.Append(name, rows)
+	if err != nil {
+		d.ctr.errors.Add(1)
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNotAppendable) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AppendResponse{
+		Dataset:  name,
+		Appended: len(rows),
+		Rows:     nd.Table().NumRows(),
+		Segments: nd.Segments(),
+	})
+}
+
+// coerceNumber converts one JSON number onto a numeric column kind. Integer
+// columns parse the literal as int64 directly (full 64-bit precision — no
+// float64 round trip) and accept float-formatted values only when they are
+// integral and below the float64 exact-integer bound.
+func coerceNumber(f dataset.Field, v json.Number) (dataset.Value, error) {
+	switch f.Kind {
+	case dataset.KindInt:
+		if i, err := v.Int64(); err == nil {
+			return dataset.IV(i), nil
+		}
+		fv, err := v.Float64()
+		if err != nil || fv != math.Trunc(fv) || math.Abs(fv) > 1<<53 {
+			return dataset.Value{}, fmt.Errorf("column %q is int, got %v", f.Name, v)
+		}
+		return dataset.IV(int64(fv)), nil
+	case dataset.KindFloat:
+		fv, err := v.Float64()
+		if err != nil {
+			return dataset.Value{}, fmt.Errorf("column %q: bad number %v: %w", f.Name, v, err)
+		}
+		return dataset.FV(fv), nil
+	default:
+		return dataset.Value{}, fmt.Errorf("column %q is string, got number %v", f.Name, v)
+	}
+}
+
+// coerceRows converts wire cells onto the dataset schema, strictly: string
+// columns take JSON strings, numeric columns take JSON numbers, and integer
+// columns additionally require integral values.
+func coerceRows(t *dataset.Table, raw [][]any) ([]dataset.Row, error) {
+	cols := t.Columns()
+	rows := make([]dataset.Row, len(raw))
+	for ri, rec := range raw {
+		if len(rec) != len(cols) {
+			return nil, fmt.Errorf("row %d has %d cells, schema has %d columns", ri, len(rec), len(cols))
+		}
+		row := make(dataset.Row, len(cols))
+		for j, cell := range rec {
+			f := cols[j].Field
+			switch v := cell.(type) {
+			case string:
+				if f.Kind != dataset.KindString {
+					return nil, fmt.Errorf("row %d: column %q is %s, got string %q", ri, f.Name, f.Kind, v)
+				}
+				row[j] = dataset.SV(v)
+			case json.Number:
+				val, err := coerceNumber(f, v)
+				if err != nil {
+					return nil, fmt.Errorf("row %d: %w", ri, err)
+				}
+				row[j] = val
+			default:
+				return nil, fmt.Errorf("row %d: column %q: unsupported cell %T", ri, f.Name, cell)
+			}
+		}
+		rows[ri] = row
+	}
+	return rows, nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

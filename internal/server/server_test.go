@@ -345,6 +345,34 @@ func TestDatasetsEndpoint(t *testing.T) {
 	if d.Name != "sales" || d.Backend != "bitmap" || d.Rows != 10000 || len(d.Columns) == 0 {
 		t.Errorf("dataset info = %+v", d)
 	}
+	// Unsegmented back-ends report zero segments and no append support.
+	if d.Segments != 0 || d.Appendable {
+		t.Errorf("bitmap dataset info = %+v, want segments=0 appendable=false", d)
+	}
+}
+
+// TestDatasetsEndpointColumnSegments pins the operator-facing segment count:
+// a 10000-row column dataset partitions into ceil(10000/4096) = 3 segments.
+func TestDatasetsEndpointColumnSegments(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Backend: "column"})
+	resp, err := http.Get(ts.URL + "/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Datasets []DatasetInfo `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	d := out.Datasets[0]
+	if d.Backend != "column" || d.Rows != 10000 || d.Segments != 3 {
+		t.Errorf("dataset info = %+v, want column/10000 rows/3 segments", d)
+	}
+	if d.Appendable {
+		t.Error("in-memory column dataset must not report appendable")
+	}
 }
 
 func TestErrorPaths(t *testing.T) {

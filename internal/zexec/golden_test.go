@@ -13,8 +13,19 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/vis"
+	"repro/internal/zpack"
 	"repro/internal/zql"
 )
+
+// buildZpack serializes a fixture table to a temporary .zpack file.
+func buildZpack(t *testing.T, tbl *dataset.Table) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), tbl.Name+".zpack")
+	if err := zpack.Build(path, tbl); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
 
 // The golden corpus is the differential oracle for the process-phase
 // executor: every script under testdata/zql runs at every optimization level
@@ -157,12 +168,21 @@ func TestGoldenCorpus(t *testing.T) {
 			if err != nil {
 				t.Fatalf("missing golden (run with -update to generate): %v", err)
 			}
+			// The zpack backend runs the corpus over a lazily-loaded
+			// on-disk build of the same table: the round-trip property
+			// test of the persistent format.
+			pack, err := zpack.Open(buildZpack(t, tbl))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pack.Close()
 			backends := map[string]engine.DB{
 				"row":    engine.NewRowStore(tbl),
 				"bitmap": engine.NewBitmapStore(tbl),
 				"column": engine.NewColumnStore(tbl),
+				"zpack":  engine.NewColumnStoreFromSource(pack),
 			}
-			for _, backend := range []string{"row", "bitmap", "column"} {
+			for _, backend := range []string{"row", "bitmap", "column", "zpack"} {
 				db := backends[backend]
 				for _, gv := range goldenVariants() {
 					t.Run(backend+"/"+gv.name, func(t *testing.T) {

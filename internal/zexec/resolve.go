@@ -208,8 +208,20 @@ func (ex *executor) evalSet(s *zql.SetExpr, kind elemKind, attrCtx string, deriv
 }
 
 // starElements expands `*`: all attributes (for attribute positions) or all
-// values of the context attribute (for value positions).
-func (ex *executor) starElements(kind elemKind, attrCtx string) ([]element, error) {
+// values of the context attribute (for value positions). Value enumeration
+// reads the column's full data; a lazily-backed column (zpack) signals a
+// failed materialization by panicking, which is recovered here into a query
+// error rather than an incomplete value set.
+func (ex *executor) starElements(kind elemKind, attrCtx string) (out []element, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("zexec: enumerating values of %q: %v", attrCtx, r)
+		}
+	}()
+	return ex.starElementsInner(kind, attrCtx)
+}
+
+func (ex *executor) starElementsInner(kind elemKind, attrCtx string) ([]element, error) {
 	if kind != elemZ || attrCtx == "" {
 		// Attribute star: every column of the table.
 		var out []element

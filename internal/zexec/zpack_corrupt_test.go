@@ -1,0 +1,56 @@
+package zexec
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/zpack"
+	"repro/internal/zql"
+)
+
+func mustParseZQL(t *testing.T, src string) *zql.Query {
+	t.Helper()
+	q, err := zql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestZpackCorruptEnumerationErrors pins the loud-failure contract for lazy
+// datasets: when a data block is corrupt, a ZQL query whose axis `*`
+// expansion must materialize the column (float values have no footer
+// dictionary) fails with a zpack error instead of silently enumerating over
+// missing values.
+func TestZpackCorruptEnumerationErrors(t *testing.T) {
+	tbl := fixtureSales()
+	path := buildZpack(t, tbl)
+	// Flip one byte in the first data block (directly after the 16-byte
+	// header): segment 0's first column, so any load of segment 0 fails.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[16+3] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := zpack.Open(path) // footer is intact; only data is corrupt
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	db := engine.NewColumnStoreFromSource(r)
+	src := `
+NAME | X      | Y       | Z
+*f1  | 'year' | 'sales' | v1 <- 'weight'.*`
+	_, err = Run(mustParseZQL(t, src), db, Options{Table: "sales", Seed: 1})
+	if err == nil {
+		t.Fatal("query over corrupt data succeeded — enumeration silently incomplete")
+	}
+	if !strings.Contains(err.Error(), "zpack") {
+		t.Errorf("error %q does not surface the zpack corruption", err)
+	}
+}

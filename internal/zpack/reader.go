@@ -1,0 +1,397 @@
+package zpack
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// Reader serves one committed snapshot of a zpack file as an
+// engine.SegmentSource. Open reads only the header, trailer, and footer —
+// cheap, metadata-sized I/O — and presizes the table's column storage;
+// segment data is read, checksum-verified, and decoded in place the first
+// time a scan visits the segment. A segment the zone maps prove empty is
+// never read from disk.
+//
+// All methods are safe for concurrent use.
+type Reader struct {
+	f     *os.File
+	owns  bool // whether Close may close f (Reopen shares the descriptor)
+	path  string
+	foot  *footer
+	table *dataset.Table
+
+	zones     map[string]*engine.ZoneData
+	intDicts  map[string]*engine.IntDict
+	intCodeOf map[string]map[int64]int32
+
+	loads       []loadState
+	segLoads    atomic.Int64
+	bytesLoaded atomic.Int64
+	loadAll     sync.Once
+	loadAllErr  error
+}
+
+type loadState struct {
+	once sync.Once
+	err  error
+}
+
+// Open opens a zpack file, reading its footer and preparing the lazy table.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := newReader(f, path, true)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Reopen re-reads the footer from the same file descriptor and returns a
+// fresh Reader over the newly committed snapshot. Because committed byte
+// ranges are append-only, the original Reader keeps working unchanged; the
+// two share the descriptor, and only the Reader created by Open owns it.
+// This is how the server swaps in an appended dataset without a
+// file-descriptor-per-generation leak.
+func (r *Reader) Reopen() (*Reader, error) {
+	return newReader(r.f, r.path, false)
+}
+
+func newReader(f *os.File, path string, owns bool) (*Reader, error) {
+	foot, _, err := readFooter(f)
+	if err != nil {
+		return nil, err
+	}
+	t := dataset.NewPresized(foot.name, foot.fields, int(foot.nrows))
+	r := &Reader{
+		f:         f,
+		owns:      owns,
+		path:      path,
+		foot:      foot,
+		table:     t,
+		zones:     foot.zones,
+		intDicts:  make(map[string]*engine.IntDict),
+		intCodeOf: make(map[string]map[int64]int32),
+		loads:     make([]loadState, len(foot.segs)),
+	}
+	for _, c := range t.Columns() {
+		name := c.Field.Name
+		switch c.Field.Kind {
+		case dataset.KindString:
+			c.SetDict(foot.dicts[name])
+		case dataset.KindInt:
+			if vals, ok := foot.intVals[name]; ok {
+				d := &engine.IntDict{Vals: vals, Codes: make([]int32, foot.nrows)}
+				codeOf := make(map[int64]int32, len(vals))
+				distinct := make([]dataset.Value, len(vals))
+				for i, v := range vals {
+					codeOf[v] = int32(i)
+					distinct[i] = dataset.IV(v)
+				}
+				r.intDicts[name] = d
+				r.intCodeOf[name] = codeOf
+				// Distinct enumeration (axis '*' expansion) answers straight
+				// from the footer; no data load needed.
+				c.SetDistinctSorted(distinct)
+			} else {
+				c.SetEnsureLoaded(r.ensureAll)
+			}
+		default:
+			c.SetEnsureLoaded(r.ensureAll)
+		}
+	}
+	return r, nil
+}
+
+// readFooter validates the header and trailer of an open file and decodes
+// the committed footer. It returns the file size alongside.
+func readFooter(f *os.File) (*footer, int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	size := st.Size()
+	if size < headerSize+trailerSize {
+		return nil, 0, fmt.Errorf("zpack: %s: file too short (%d bytes) to be a zpack file", f.Name(), size)
+	}
+	var hdr [headerSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, 0, err
+	}
+	if [4]byte(hdr[:4]) != headerMagic {
+		return nil, 0, fmt.Errorf("zpack: %s: bad magic %q (not a zpack file)", f.Name(), hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != Version {
+		return nil, 0, fmt.Errorf("zpack: %s: unsupported format version %d (this build reads version %d)", f.Name(), v, Version)
+	}
+	var tr [trailerSize]byte
+	if _, err := f.ReadAt(tr[:], size-trailerSize); err != nil {
+		return nil, 0, err
+	}
+	if [4]byte(tr[20:24]) != trailerMagic {
+		return nil, 0, fmt.Errorf("zpack: %s: bad trailer magic (truncated or torn final append)", f.Name())
+	}
+	footOff := int64(binary.LittleEndian.Uint64(tr[0:8]))
+	footLen := int64(binary.LittleEndian.Uint64(tr[8:16]))
+	footCRC := binary.LittleEndian.Uint32(tr[16:20])
+	if footOff < headerSize || footLen < 0 || footOff+footLen > size-trailerSize {
+		return nil, 0, fmt.Errorf("zpack: %s: trailer points outside the file (footer at %d+%d of %d)", f.Name(), footOff, footLen, size)
+	}
+	payload := make([]byte, footLen)
+	if _, err := f.ReadAt(payload, footOff); err != nil {
+		return nil, 0, err
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != footCRC {
+		return nil, 0, fmt.Errorf("zpack: %s: footer checksum mismatch (got %08x, want %08x)", f.Name(), got, footCRC)
+	}
+	foot, err := decodeFooter(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, s := range foot.segs {
+		for j, b := range s.blocks {
+			if b.off < headerSize || b.len < 0 || b.off+b.len > size-trailerSize {
+				return nil, 0, fmt.Errorf("zpack: %s: segment %d column %d block outside the file", f.Name(), i, j)
+			}
+		}
+	}
+	return foot, size, nil
+}
+
+// Table returns the lazily-backed base table: full schema, dictionaries, and
+// row count up front, column data materializing as segments load. It is only
+// valid under the column back-end (or after LoadAll); other back-ends read
+// raw slices eagerly.
+func (r *Reader) Table() *dataset.Table { return r.table }
+
+// Name returns the dataset name recorded in the footer.
+func (r *Reader) Name() string { return r.foot.name }
+
+// Path returns the file path the reader was opened from.
+func (r *Reader) Path() string { return r.path }
+
+// Rows returns the committed row count.
+func (r *Reader) Rows() int { return int(r.foot.nrows) }
+
+// NumSegments returns the committed segment count.
+func (r *Reader) NumSegments() int { return len(r.foot.segs) }
+
+// SegmentRows returns the row count of segment s.
+func (r *Reader) SegmentRows(s int) int { return r.foot.segs[s].rows }
+
+// Zone returns the named column's zone maps.
+func (r *Reader) Zone(col string) *engine.ZoneData { return r.zones[col] }
+
+// IntDict returns the named integer column's dictionary encoding, or nil.
+func (r *Reader) IntDict(col string) *engine.IntDict { return r.intDicts[col] }
+
+// SegmentLoads returns how many segments have been materialized from disk —
+// the observable that proves zone-map-skipped segments were never read.
+func (r *Reader) SegmentLoads() int64 { return r.segLoads.Load() }
+
+// BytesLoaded returns the total block bytes read and decoded so far.
+func (r *Reader) BytesLoaded() int64 { return r.bytesLoaded.Load() }
+
+// Load materializes segment seg into the table's column storage: each block
+// is read, checksum-verified, and decoded in place. Load is idempotent and
+// safe for concurrent use; the work happens once per segment per Reader.
+func (r *Reader) Load(seg int) error {
+	if seg < 0 || seg >= len(r.loads) {
+		return fmt.Errorf("zpack: segment %d out of range (file has %d)", seg, len(r.loads))
+	}
+	l := &r.loads[seg]
+	l.once.Do(func() {
+		l.err = r.loadSegment(seg)
+	})
+	return l.err
+}
+
+func (r *Reader) loadSegment(seg int) error {
+	n, err := decodeSegmentBlocks(r.f, r.foot, seg, func(j int, c *dataset.Column, lo int, codes []int32, ints []int64, floats []float64) error {
+		switch c.Field.Kind {
+		case dataset.KindString:
+			copy(c.Codes()[lo:], codes)
+		case dataset.KindInt:
+			copy(c.Ints()[lo:], ints)
+			if d := r.intDicts[c.Field.Name]; d != nil {
+				codeOf := r.intCodeOf[c.Field.Name]
+				for i, v := range ints {
+					code, ok := codeOf[v]
+					if !ok {
+						return fmt.Errorf("zpack: segment %d column %q: value %d missing from footer dictionary (corrupt data)", seg, c.Field.Name, v)
+					}
+					d.Codes[lo+i] = code
+				}
+			}
+		default:
+			copy(c.Floats()[lo:], floats)
+		}
+		return nil
+	}, r.table)
+	if err != nil {
+		return err
+	}
+	r.segLoads.Add(1)
+	r.bytesLoaded.Add(n)
+	return nil
+}
+
+// ensureAll is the DistinctSorted hook for numeric columns without a footer
+// dictionary: materialize everything before the raw scan. A load failure
+// must not degrade into silently incomplete enumeration (zeroed segments
+// would just be missing from the distinct set), so it panics with the load
+// error; the ZQL axis-expansion path recovers it into a query error.
+func (r *Reader) ensureAll() {
+	if err := r.LoadAll(); err != nil {
+		panic(err)
+	}
+}
+
+// LoadAll materializes every segment (for use with non-columnar back-ends or
+// full exports), returning the first load error.
+func (r *Reader) LoadAll() error {
+	r.loadAll.Do(func() {
+		for s := 0; s < len(r.loads); s++ {
+			if err := r.Load(s); err != nil {
+				r.loadAllErr = err
+				return
+			}
+		}
+	})
+	return r.loadAllErr
+}
+
+// Verify re-reads every committed block and checks its length and checksum
+// against the footer index, without touching the table. It returns the
+// first corruption found.
+func (r *Reader) Verify() error {
+	for s := range r.foot.segs {
+		if _, err := decodeSegmentBlocks(r.f, r.foot, s, nil, r.table); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes the underlying file if this Reader owns it (Readers produced
+// by Reopen share their parent's descriptor and Close is a no-op for them).
+func (r *Reader) Close() error {
+	if !r.owns {
+		return nil
+	}
+	return r.f.Close()
+}
+
+// blockWidth returns the on-disk bytes per row of a column kind.
+func blockWidth(k dataset.Kind) int {
+	if k == dataset.KindString {
+		return 4
+	}
+	return 8
+}
+
+// decodeSegmentBlocks reads, checks, and decodes every column block of one
+// segment, handing each column's decoded values to sink (nil sink = verify
+// only). It returns the byte count read.
+func decodeSegmentBlocks(f io.ReaderAt, foot *footer, seg int, sink func(j int, c *dataset.Column, lo int, codes []int32, ints []int64, floats []float64) error, t *dataset.Table) (int64, error) {
+	s := foot.segs[seg]
+	lo := seg * engine.SegmentSize
+	var total int64
+	for j, fd := range foot.fields {
+		ref := s.blocks[j]
+		if want := int64(s.rows * blockWidth(fd.Kind)); ref.len != want {
+			return 0, fmt.Errorf("zpack: segment %d column %q: block length %d, want %d", seg, fd.Name, ref.len, want)
+		}
+		buf := make([]byte, ref.len)
+		if _, err := f.ReadAt(buf, ref.off); err != nil {
+			return 0, fmt.Errorf("zpack: segment %d column %q: %w", seg, fd.Name, err)
+		}
+		if got := crc32.Checksum(buf, castagnoli); got != ref.crc {
+			return 0, fmt.Errorf("zpack: segment %d column %q: block checksum mismatch (got %08x, want %08x)", seg, fd.Name, got, ref.crc)
+		}
+		total += ref.len
+		if sink == nil {
+			continue
+		}
+		c := t.Columns()[j]
+		var codes []int32
+		var ints []int64
+		var floats []float64
+		switch fd.Kind {
+		case dataset.KindString:
+			codes = make([]int32, s.rows)
+			card := int32(len(foot.dicts[fd.Name]))
+			for i := range codes {
+				code := int32(binary.LittleEndian.Uint32(buf[i*4:]))
+				if code < 0 || code >= card {
+					return 0, fmt.Errorf("zpack: segment %d column %q: dictionary code %d out of range [0,%d)", seg, fd.Name, code, card)
+				}
+				codes[i] = code
+			}
+		case dataset.KindInt:
+			ints = make([]int64, s.rows)
+			for i := range ints {
+				ints[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
+			}
+		default:
+			floats = make([]float64, s.rows)
+			for i := range floats {
+				floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+			}
+		}
+		if err := sink(j, c, lo, codes, ints, floats); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// decodeSegmentInto appends one segment's decoded rows onto a buffer table
+// (the OpenAppend tail-restore path). extra is unused and reserved.
+func decodeSegmentInto(f io.ReaderAt, foot *footer, seg int, buf *dataset.Table) error {
+	s := foot.segs[seg]
+	cols := make([][]dataset.Value, len(foot.fields))
+	_, err := decodeSegmentBlocks(f, foot, seg, func(j int, _ *dataset.Column, _ int, codes []int32, ints []int64, floats []float64) error {
+		vals := make([]dataset.Value, s.rows)
+		switch foot.fields[j].Kind {
+		case dataset.KindString:
+			dict := foot.dicts[foot.fields[j].Name]
+			for i, code := range codes {
+				vals[i] = dataset.SV(dict[code])
+			}
+		case dataset.KindInt:
+			for i, v := range ints {
+				vals[i] = dataset.IV(v)
+			}
+		default:
+			for i, v := range floats {
+				vals[i] = dataset.FV(v)
+			}
+		}
+		cols[j] = vals
+		return nil
+	}, buf)
+	if err != nil {
+		return err
+	}
+	row := make(dataset.Row, len(cols))
+	for i := 0; i < s.rows; i++ {
+		for j := range cols {
+			row[j] = cols[j][i]
+		}
+		buf.AppendRow(row...)
+	}
+	return nil
+}
