@@ -370,6 +370,35 @@ func BenchmarkColumnVsRowClusteredBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedBatchSweep measures scatter-gather scaling: the same
+// clustered 32-query batch as BenchmarkColumnVsRowClusteredBatch on a
+// sharded column store at N ∈ {1, 2, 4, 8} shards. Each shard scans its
+// segment range on its own worker, so on an M-core machine batch latency
+// should drop roughly min(N, M)-fold until shards outnumber the segments a
+// plan actually touches; on one core the sweep instead pins that the
+// scatter-gather overhead is small. segskip/op and rows/op must match the
+// unsharded column store — sharding redistributes the scan, it never adds
+// work.
+func BenchmarkShardedBatchSweep(b *testing.B) {
+	tb := workload.GroupSweepClustered(100000, 64, 10, 11)
+	for _, n := range []int{1, 2, 4, 8} {
+		db := engine.NewShardedStore(n, tb)
+		plans := batchPlans(b, db, tb, 32)
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			before := db.Counters()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.ExecuteBatch(plans); err != nil {
+					b.Fatal(err)
+				}
+			}
+			after := db.Counters()
+			b.ReportMetric(float64(after.SegmentsSkipped-before.SegmentsSkipped)/float64(b.N), "segskip/op")
+			b.ReportMetric(float64(after.RowsScanned-before.RowsScanned)/float64(b.N), "rows/op")
+		})
+	}
+}
+
 // BenchmarkPrepareOverhead isolates plan preparation (validation, column
 // binding, predicate compilation) from execution.
 func BenchmarkPrepareOverhead(b *testing.B) {

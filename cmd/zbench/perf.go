@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/minisql"
+	"repro/internal/workload"
+	"repro/internal/zexec"
+	"repro/internal/zql"
+)
+
+// perfReport is the schema of the BENCH_<n>.json files committed at the repo
+// root: a machine-readable perf trajectory point, regenerated with
+//
+//	zbench -json BENCH_<n>.json
+//
+// The numbers are environment-dependent (goMaxProcs records how many cores
+// the sweep actually had); the committed files exist so PRs that claim a
+// speedup carry the measurement they were made on.
+type perfReport struct {
+	GeneratedBy string        `json:"generatedBy"`
+	GoMaxProcs  int           `json:"goMaxProcs"`
+	Workload    perfWorkload  `json:"workload"`
+	Batch       []perfBatch   `json:"batch"`
+	Process     []perfProcess `json:"process"`
+}
+
+// perfWorkload pins the dataset and batch shape the numbers were taken on.
+type perfWorkload struct {
+	Rows      int  `json:"rows"`
+	ZCard     int  `json:"zCard"`
+	XCard     int  `json:"xCard"`
+	Plans     int  `json:"plans"`
+	Clustered bool `json:"clustered"`
+	Segments  int  `json:"segments"`
+}
+
+// perfBatch is one backend's latency for the whole 32-plan shared-scan batch.
+// Counters are per batch (identical across shard counts by construction:
+// sharding redistributes the scan, it never adds work).
+type perfBatch struct {
+	Backend         string `json:"backend"`
+	Shards          int    `json:"shards,omitempty"`
+	Iters           int    `json:"iters"`
+	BatchNsBest     int64  `json:"batchNsBest"`
+	BatchNsMedian   int64  `json:"batchNsMedian"`
+	RowsScanned     int64  `json:"rowsScannedPerBatch"`
+	SegmentsSkipped int64  `json:"segmentsSkippedPerBatch"`
+}
+
+// perfProcess is one end-to-end ZQL run (fetch + process phase) over the same
+// table, splitting out the process-phase time the executor reports.
+type perfProcess struct {
+	Query         string `json:"query"`
+	Shards        int    `json:"shards"`
+	Iters         int    `json:"iters"`
+	TotalNsBest   int64  `json:"totalNsBest"`
+	ProcessNsBest int64  `json:"processNsBest"`
+}
+
+// perfBatchPlans is batchPlans from the root benchmarks, minus testing.B: one
+// per-slice aggregate per z value, the shape a batched ZQL request produces.
+func perfBatchPlans(db engine.DB, zvals []string, n int) ([]*engine.Plan, error) {
+	if n > len(zvals) {
+		n = len(zvals)
+	}
+	plans := make([]*engine.Plan, n)
+	for i := 0; i < n; i++ {
+		q, err := minisql.Parse(fmt.Sprintf(
+			"SELECT x, SUM(y) AS s FROM sweep WHERE z = '%s' GROUP BY x ORDER BY x", zvals[i]))
+		if err != nil {
+			return nil, err
+		}
+		p, err := db.Prepare(q)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = p
+	}
+	return plans, nil
+}
+
+// timeBatch runs the batch iters times (after one warmup) and returns
+// best/median wall time plus per-batch counter deltas.
+func timeBatch(db engine.DB, plans []*engine.Plan, iters int) (perfBatch, error) {
+	if _, err := db.ExecuteBatch(plans); err != nil {
+		return perfBatch{}, err
+	}
+	before := db.Counters()
+	times := make([]time.Duration, iters)
+	for i := range times {
+		start := time.Now()
+		if _, err := db.ExecuteBatch(plans); err != nil {
+			return perfBatch{}, err
+		}
+		times[i] = time.Since(start)
+	}
+	after := db.Counters()
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return perfBatch{
+		Iters:           iters,
+		BatchNsBest:     times[0].Nanoseconds(),
+		BatchNsMedian:   times[iters/2].Nanoseconds(),
+		RowsScanned:     (after.RowsScanned - before.RowsScanned) / int64(iters),
+		SegmentsSkipped: (after.SegmentsSkipped - before.SegmentsSkipped) / int64(iters),
+	}, nil
+}
+
+// perfProcessZQL is the process-phase probe: a top-k trend search over every
+// z slice, so both the shared scan (fetch) and the task processor (process)
+// do real work.
+const perfProcessZQL = `
+NAME | X   | Y   | Z           | PROCESS
+f1   | 'x' | 'y' | v1 <- 'z'.* | v2 <- argmax(v1)[k=3] T(f1)
+*f2  | 'x' | 'y' | v2          |`
+
+// runPerfJSON measures the sharded batch sweep and the process phase and
+// writes the report to path.
+func runPerfJSON(path string) error {
+	const rows, zCard, xCard, nplans, iters = 100000, 64, 10, 32, 15
+	tb := workload.GroupSweepClustered(rows, zCard, xCard, 11)
+	zvals := make([]string, 0, zCard)
+	for _, v := range tb.Column("z").DistinctSorted() {
+		zvals = append(zvals, v.String())
+	}
+
+	rep := perfReport{
+		GeneratedBy: "zbench -json",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Workload: perfWorkload{
+			Rows: rows, ZCard: zCard, XCard: xCard, Plans: nplans,
+			Clustered: true,
+			Segments:  engine.NewMemSource(tb).NumSegments(),
+		},
+	}
+
+	// Batch latency: the row store is the shared-scan baseline, the unsharded
+	// column store adds zone-map skipping, and the sharded sweep adds
+	// scatter-gather parallelism on top.
+	type cfg struct {
+		backend string
+		shards  int
+		db      engine.DB
+	}
+	cfgs := []cfg{
+		{"row", 0, engine.NewRowStore(tb)},
+		{"column", 0, engine.NewColumnStore(tb)},
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		cfgs = append(cfgs, cfg{"sharded", n, engine.NewShardedStore(n, tb)})
+	}
+	for _, c := range cfgs {
+		plans, err := perfBatchPlans(c.db, zvals, nplans)
+		if err != nil {
+			return err
+		}
+		pb, err := timeBatch(c.db, plans, iters)
+		if err != nil {
+			return err
+		}
+		pb.Backend = c.backend
+		pb.Shards = c.shards
+		rep.Batch = append(rep.Batch, pb)
+	}
+
+	// Process phase: the same ZQL run unsharded and sharded; processNs is the
+	// task-processor slice of the total.
+	q, err := zql.Parse(perfProcessZQL)
+	if err != nil {
+		return err
+	}
+	for _, n := range []int{1, 4} {
+		db := engine.NewShardedStore(n, tb)
+		pp := perfProcess{Query: "argmax-topk-trend", Shards: n, Iters: 5}
+		for i := 0; i < pp.Iters+1; i++ {
+			start := time.Now()
+			res, err := zexec.Run(q, db, zexec.Options{Table: "sweep", Opt: zexec.InterTask, Seed: 42})
+			if err != nil {
+				return err
+			}
+			total := time.Since(start).Nanoseconds()
+			if i == 0 { // warmup
+				continue
+			}
+			if pp.TotalNsBest == 0 || total < pp.TotalNsBest {
+				pp.TotalNsBest = total
+			}
+			if ns := res.Stats.ProcessTime.Nanoseconds(); pp.ProcessNsBest == 0 || ns < pp.ProcessNsBest {
+				pp.ProcessNsBest = ns
+			}
+		}
+		rep.Process = append(rep.Process, pp)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d batch configs, %d process runs, GOMAXPROCS=%d)\n",
+		path, len(rep.Batch), len(rep.Process), rep.GoMaxProcs)
+	return nil
+}

@@ -32,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -55,6 +56,7 @@ func main() {
 		pworkers = flag.Int("process-workers", 0, "process-phase worker goroutines per query (0 = auto)")
 		optName  = flag.String("opt", "intertask", "default optimization level: noopt, intraline, intratask, intertask (or o0..o3)")
 		metric   = flag.String("metric", "euclidean", "distance metric D: euclidean, dtw, kl, emd (raw- prefix skips normalization)")
+		shards   = flag.Int("shards", 0, "segment shards per column/zpack dataset, scanned in parallel (0 = one per CPU core, 1 = unsharded; row/bitmap ignore it)")
 		seed     = flag.Int64("seed", 42, "seed for R (k-means) determinism")
 		demoRows = flag.Int("demo-rows", 50000, "row count for the demo generators")
 		grace    = flag.Duration("grace", 10*time.Second, "graceful shutdown drain window for in-flight queries")
@@ -70,6 +72,12 @@ func main() {
 	if _, err := zexec.OptLevelByName(*optName); err != nil {
 		log.Fatal(err)
 	}
+	if *shards == 0 {
+		// One shard per core keeps a single dataset's batch able to use the
+		// whole machine; the engine caps the effective count at the segment
+		// count, so small tables aren't over-split.
+		*shards = runtime.GOMAXPROCS(0)
+	}
 	cfg := server.Config{
 		Backend:            *backend,
 		Opt:                *optName,
@@ -78,6 +86,7 @@ func main() {
 		CacheEntries:       *cache,
 		Workers:            *workers,
 		ProcessParallelism: *pworkers,
+		Shards:             *shards,
 	}
 
 	reg := server.NewRegistry()
@@ -171,8 +180,8 @@ func loadDataSpec(reg *server.Registry, spec string, cfg server.Config) error {
 		if err != nil {
 			return err
 		}
-		log.Printf("loaded %s: %d rows, %d segments from %s (column backend, warm, appendable)",
-			d.Name(), d.Table().NumRows(), d.Segments(), path)
+		log.Printf("loaded %s: %d rows, %d segments, %d shard(s) from %s (column backend, warm, appendable)",
+			d.Name(), d.Table().NumRows(), d.Segments(), max(d.ShardCount(), 1), path)
 		return nil
 	}
 	d, err := reg.LoadCSV(name, path, cfg)

@@ -36,22 +36,30 @@ type ColumnStore struct {
 // source the data materializes through: a no-op memSource for in-memory
 // tables, a lazy reader (zpack) for disk-resident ones. Zone maps and
 // integer dictionaries always come from the source's metadata, so the scan
-// can prove segments empty without ever loading them.
+// can prove segments empty without ever loading them. [segLo, segHi) is the
+// global segment range the store scans: the whole table normally, a shard's
+// owned sub-range when the source is a SegmentRanged view — row indices,
+// zone maps, and dictionary codes stay globally indexed either way.
 type colTable struct {
-	t        *dataset.Table
-	src      SegmentSource
-	nseg     int
-	zones    map[string]*ZoneData // by column name
-	intCodes map[string]*IntDict  // low-cardinality int columns, by name
+	t            *dataset.Table
+	src          SegmentSource
+	segLo, segHi int
+	zones        map[string]*ZoneData // by column name
+	intCodes     map[string]*IntDict  // low-cardinality int columns, by name
 }
 
 // newColTable builds the segmented view over a source's metadata.
 func newColTable(src SegmentSource) *colTable {
 	t := src.Table()
+	lo, hi := 0, src.NumSegments()
+	if r, ok := src.(SegmentRanged); ok {
+		lo, hi = r.SegRange()
+	}
 	ct := &colTable{
 		t:        t,
 		src:      src,
-		nseg:     src.NumSegments(),
+		segLo:    lo,
+		segHi:    hi,
 		zones:    make(map[string]*ZoneData, t.NumCols()),
 		intCodes: make(map[string]*IntDict),
 	}
@@ -101,11 +109,12 @@ func NewColumnStoreFromSource(sources ...SegmentSource) *ColumnStore {
 	return s
 }
 
-// NumSegments returns the segment count of the named table, or 0 (the
-// Segmented interface).
+// NumSegments returns the segment count the store scans for the named table
+// (its owned range when the source is sharded), or 0 (the Segmented
+// interface).
 func (s *ColumnStore) NumSegments(table string) int {
 	if ct := s.cols[table]; ct != nil {
-		return ct.nseg
+		return ct.segHi - ct.segLo
 	}
 	return 0
 }
@@ -211,7 +220,22 @@ func (s *ColumnStore) ExecuteBatch(plans []*Plan) ([]*Result, error) {
 			go func(shard []int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				s.scanSegments(ct, plans, shard, results, errs)
+				sinks := make([]rowSink, len(shard))
+				for k, pi := range shard {
+					sinks[k] = newColSink(plans[pi])
+				}
+				if err := s.scanInto(ct, plans, shard, sinks); err != nil {
+					// A failed segment load poisons every plan in the
+					// worker's share: each may have consumed partial data
+					// from the scan so far.
+					for _, pi := range shard {
+						errs[pi] = err
+					}
+					return
+				}
+				for k, pi := range shard {
+					results[pi], errs[pi] = sinks[k].finish()
+				}
 			}(shard)
 		}
 	}
@@ -240,17 +264,34 @@ type colEqGroup struct {
 	filters []*catEqFilter // one per member plan, for per-plan zone tests
 }
 
-// scanSegments is one worker's shared segment walk serving every plan in the
-// shard. Single-equality plans over one column share a code-routed pass;
-// every other distinct conjunct (keyed by canonical SQL) is evaluated at
-// most once per segment and intersected per plan. A segment's data is
-// materialized through the table's segment source the first time any plan
-// actually scans it — zone-map-skipped segments are never loaded.
-func (s *ColumnStore) scanSegments(ct *colTable, plans []*Plan, shard []int, results []*Result, errs []error) {
-	sinks := make([]rowSink, len(shard))
-	for k, pi := range shard {
-		sinks[k] = newColSink(plans[pi])
+// scanPartial runs every plan's scan over the store's segment range on the
+// calling goroutine and returns the raw, unfinished sinks, plan-aligned —
+// the scatter half of the sharded store's scatter/gather. All plans must
+// read one table (the sharded store scatters per table group).
+func (s *ColumnStore) scanPartial(plans []*Plan) ([]rowSink, error) {
+	ct := s.cols[plans[0].t.Name]
+	shard := make([]int, len(plans))
+	sinks := make([]rowSink, len(plans))
+	for k, p := range plans {
+		shard[k] = k
+		sinks[k] = newColSink(p)
 	}
+	s.stats.queries.Add(int64(len(plans)))
+	if err := s.scanInto(ct, plans, shard, sinks); err != nil {
+		return nil, err
+	}
+	return sinks, nil
+}
+
+// scanInto is one worker's shared segment walk over the table's owned range
+// [segLo, segHi), feeding every plan in the shard's sink. Single-equality
+// plans over one column share a code-routed pass; every other distinct
+// conjunct (keyed by canonical SQL) is evaluated at most once per segment
+// and intersected per plan. A segment's data is materialized through the
+// table's segment source the first time any plan actually scans it —
+// zone-map-skipped segments are never loaded. The first failed segment load
+// is returned; sinks may then hold partial data and must be discarded.
+func (s *ColumnStore) scanInto(ct *colTable, plans []*Plan, shard []int, sinks []rowSink) error {
 	// Partition the shard: dispatchable single-equality plans fold into
 	// per-column groups, everything else goes through the shared-conjunct
 	// slots.
@@ -302,7 +343,7 @@ func (s *ColumnStore) scanSegments(ct *colTable, plans []*Plan, shard []int, res
 	acc := newSegBits()
 	var scanned, skipped int64
 	var loadErr error
-	for seg := 0; seg < ct.nseg && loadErr == nil; seg++ {
+	for seg := ct.segLo; seg < ct.segHi && loadErr == nil; seg++ {
 		lo, hi := ct.segBounds(seg)
 		for i := range slotDone {
 			slotDone[i] = false
@@ -383,17 +424,7 @@ func (s *ColumnStore) scanSegments(ct *colTable, plans []*Plan, shard []int, res
 	}
 	s.stats.rowsScanned.Add(scanned)
 	s.stats.segmentsSkipped.Add(skipped)
-	if loadErr != nil {
-		// A failed segment load poisons every plan in the shard: each may
-		// have consumed partial data from the scan so far.
-		for _, pi := range shard {
-			errs[pi] = loadErr
-		}
-		return
-	}
-	for k, pi := range shard {
-		results[pi], errs[pi] = sinks[k].finish()
-	}
+	return loadErr
 }
 
 // evalSlot returns the selection bitmap of one conjunct for the current
@@ -538,3 +569,31 @@ func (s *flatSink) add(i int) {
 }
 
 func (s *flatSink) finish() (*Result, error) { return s.p.finishGroups(s.groups) }
+
+// slotAt recomputes a row's combined key code. Used at gather time, when the
+// row's segment is guaranteed loaded (the shard that saw the row loaded it,
+// and the scatter barrier orders that load before any merge).
+func (s *flatSink) slotAt(i int) int {
+	slot := 0
+	for k, codes := range s.codes {
+		slot = slot*s.card[k] + int(codes[i])
+	}
+	return slot
+}
+
+// mergeFrom folds a later shard's partial accumulation into s. Shard sinks
+// share the plan's dictionary code slices (globally indexed), so a group's
+// slot is the same in every shard; new groups append in o's order, which is
+// global first-seen order because s covers strictly earlier rows.
+func (s *flatSink) mergeFrom(o *flatSink) {
+	for _, g := range o.groups {
+		slot := o.slotAt(g.firstRow)
+		gi := s.slots[slot]
+		if gi < 0 {
+			s.slots[slot] = int32(len(s.groups))
+			s.groups = append(s.groups, g)
+			continue
+		}
+		s.groups[gi].merge(g)
+	}
+}

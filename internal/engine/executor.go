@@ -27,10 +27,10 @@ func (r *Result) ColIndex(name string) int {
 	return -1
 }
 
-// DB is a queryable storage back-end. All three stores implement it.
+// DB is a queryable storage back-end. All four stores implement it.
 type DB interface {
-	// Name identifies the back-end ("rowstore", "bitmapstore", or
-	// "columnstore").
+	// Name identifies the back-end ("rowstore", "bitmapstore", "columnstore",
+	// or "shardedstore").
 	Name() string
 	// Table returns the named base table, or nil.
 	Table(name string) *dataset.Table
@@ -146,6 +146,31 @@ func (a *aggState) add(v float64) {
 	a.count++
 }
 
+// merge folds a later partial accumulation into a: a's rows all precede o's
+// (shards cover ascending row ranges), so the fold mirrors add's semantics —
+// an empty side is the identity, min/max comparisons match add's (a NaN
+// bound never displaces an existing one), and sums add. Summation order
+// differs from the sequential fold only at shard boundaries, so SUM/AVG are
+// bit-identical whenever the column's values accumulate exactly (integers,
+// halves — true of every fixture this repo ships); COUNT/MIN/MAX always are.
+func (a *aggState) merge(o *aggState) {
+	if o.count == 0 {
+		return
+	}
+	if a.count == 0 {
+		*a = *o
+		return
+	}
+	if o.min < a.min {
+		a.min = o.min
+	}
+	if o.max > a.max {
+		a.max = o.max
+	}
+	a.sum += o.sum
+	a.count += o.count
+}
+
 // value emits the aggregate. Over an empty match set COUNT is 0 and every
 // other aggregate is NULL (SQL semantics).
 func (a *aggState) value(f minisql.AggFunc) dataset.Value {
@@ -180,6 +205,15 @@ type group struct {
 	keyVals  []dataset.Value
 	aggs     []aggState
 	firstRow int
+}
+
+// merge folds a later shard's accumulation of the same group into g, which
+// keeps its keyVals and firstRow: g comes from the earlier shard, so its
+// firstRow is the group's global first-seen representative.
+func (g *group) merge(o *group) {
+	for a := range g.aggs {
+		g.aggs[a].merge(&o.aggs[a])
+	}
 }
 
 func orderResult(res *Result, order []minisql.OrderItem) error {

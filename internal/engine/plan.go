@@ -23,6 +23,7 @@ type Plan struct {
 
 	pred   rowPredicate      // compiled WHERE; always-true when q.Where is nil
 	vec    *vecPlan          // column-store compilation hook; nil elsewhere
+	sub    []*Plan           // sharded-store per-shard plans; nil elsewhere
 	cols   []string          // output column names
 	hasAgg bool              // any aggregate select item
 	selCol []*dataset.Column // per select item; nil for COUNT(*)
@@ -208,6 +209,33 @@ func (s *planSink) add(i int) {
 		} else {
 			g.aggs[a].add(c.Float(i))
 		}
+	}
+}
+
+// mergeFrom folds a later shard's partial accumulation into s. Shards cover
+// contiguous ascending row ranges, so appending o's new groups after s's
+// (each list already in first-seen order, keys built from the shared table's
+// global codes) reproduces the global first-seen order, and concatenating
+// projection rows reproduces ascending row order. Matching groups merge
+// accumulator state; s's group keeps its firstRow (the globally earlier
+// representative row).
+func (s *planSink) mergeFrom(o *planSink) {
+	if s.groups == nil {
+		s.rows = append(s.rows, o.rows...)
+		return
+	}
+	keyOf := make(map[*group]string, len(o.groups))
+	for key, g := range o.groups {
+		keyOf[g] = key
+	}
+	for _, g := range o.groupList {
+		key := keyOf[g]
+		if dst, ok := s.groups[key]; ok {
+			dst.merge(g)
+			continue
+		}
+		s.groups[key] = g
+		s.groupList = append(s.groupList, g)
 	}
 }
 

@@ -7,7 +7,9 @@
 //
 // Stacking, per dataset, bottom to top:
 //
-//	engine.DB (row | bitmap | column)   one immutable store, shared read-only
+//	engine.DB (row | bitmap | column,   one immutable store, shared read-only;
+//	           optionally sharded)      column/zpack stores can split into
+//	                                    segment shards scanned in parallel
 //	  coalescingDB                      queued submissions fold into one ExecuteBatch
 //	    cachingDB                       LRU results keyed by canonical plan SQL
 //	      client.Session                ZQL parse/execute + bounded history
@@ -57,6 +59,12 @@ type Config struct {
 	// Parallelism bounds the store's scan workers per batch (<= 0 =
 	// GOMAXPROCS). Applied once at registration; never per request.
 	Parallelism int
+	// Shards splits a column or zpack dataset into N contiguous segment
+	// shards whose scans scatter across the worker pool and merge at a
+	// gather point, results unchanged (docs/ARCHITECTURE.md, "Sharded
+	// scatter-gather"). <= 1 means unsharded; the row and bitmap back-ends
+	// ignore it. Effective shard count is capped by the segment count.
+	Shards int
 	// ProcessParallelism bounds the process-phase worker goroutines per query
 	// (0 = automatic: GOMAXPROCS at optimized levels). Results are identical
 	// at every setting; a server packing many datasets onto one machine may
@@ -147,6 +155,15 @@ func (d *Dataset) Segments() int {
 	return 0
 }
 
+// ShardCount returns the store's segment shard count for this dataset, or 0
+// when the store is unsharded.
+func (d *Dataset) ShardCount() int {
+	if s, ok := d.store.(interface{ NumShards(table string) int }); ok {
+		return s.NumShards(d.table.Name)
+	}
+	return 0
+}
+
 // Appendable reports whether POST /datasets/{name}/append can extend this
 // dataset (zpack-backed datasets only).
 func (d *Dataset) Appendable() bool { return d.packW.Load() != nil }
@@ -167,6 +184,20 @@ type DatasetStats struct {
 	Process         ProcessTotals `json:"process"`
 	HTTP            HTTPStats     `json:"http"`
 	History         int           `json:"historyEntries"`
+	// Shards is present only on sharded datasets: each shard's share of the
+	// scan work, in shard order. The store-wide counters above are the sums.
+	Shards []ShardStats `json:"shards,omitempty"`
+}
+
+// ShardStats is one segment shard's share of the scan work.
+type ShardStats struct {
+	Segments        int   `json:"segments"`
+	RowsScanned     int64 `json:"rowsScanned"`
+	SegmentsSkipped int64 `json:"segmentsSkipped"`
+	// SegmentLoads counts distinct segments the shard has materialized — for
+	// zpack datasets, segments actually read from disk. A shard whose zone
+	// maps keep proving its segments empty stays at zero.
+	SegmentLoads int64 `json:"segmentLoads"`
 }
 
 // ProcessTotals aggregates process-phase work over every query the dataset
@@ -189,7 +220,19 @@ type HTTPStats struct {
 // Stats snapshots the dataset's counters.
 func (d *Dataset) Stats() DatasetStats {
 	c := d.store.Counters()
+	var shards []ShardStats
+	if sh, ok := d.store.(engine.ShardedDB); ok {
+		for _, sc := range sh.ShardStats(d.table.Name) {
+			shards = append(shards, ShardStats{
+				Segments:        sc.Segments,
+				RowsScanned:     sc.RowsScanned,
+				SegmentsSkipped: sc.SegmentsSkipped,
+				SegmentLoads:    sc.SegmentLoads,
+			})
+		}
+	}
 	return DatasetStats{
+		Shards:          shards,
 		Backend:         d.backend,
 		Rows:            d.table.NumRows(),
 		Queries:         c.Queries,
@@ -254,7 +297,11 @@ func (r *Registry) AddTable(t *dataset.Table, cfg Config) (*Dataset, error) {
 	case "bitmap":
 		store = engine.NewBitmapStore(t)
 	case "column":
-		store = engine.NewColumnStore(t)
+		if cfg.Shards > 1 {
+			store = engine.NewShardedStore(cfg.Shards, t)
+		} else {
+			store = engine.NewColumnStore(t)
+		}
 	default:
 		return nil, fmt.Errorf("server: unknown backend %q (want row, bitmap, or column)", cfg.Backend)
 	}
@@ -290,7 +337,7 @@ func (r *Registry) AddZpack(name, path string, cfg Config) (*Dataset, error) {
 	}
 	t := reader.Table()
 	t.Name = name
-	d, err := newDataset(t, engine.NewColumnStoreFromSource(reader), "column", cfg)
+	d, err := newDataset(t, zpackStore(reader, cfg), "column", cfg)
 	if err != nil {
 		reader.Close()
 		return nil, err
@@ -298,6 +345,18 @@ func (r *Registry) AddZpack(name, path string, cfg Config) (*Dataset, error) {
 	d.packPath, d.packR = path, reader
 	d.packW.Store(writer)
 	return r.add(d)
+}
+
+// zpackStore builds the column back-end over a zpack reader, sharded when
+// the config asks for it: shards are range views over the same footer index,
+// so the file is never rewritten and lazily-skipped segments are still never
+// read from disk. Append rebuilds through this same helper, so appended
+// segments land in the re-split tail shard's range.
+func zpackStore(r *zpack.Reader, cfg Config) engine.DB {
+	if cfg.Shards > 1 {
+		return engine.NewShardedStoreFromSource(cfg.Shards, r)
+	}
+	return engine.NewColumnStoreFromSource(r)
 }
 
 // newDataset assembles the serving stack — store, cache, coalescer, session
@@ -430,7 +489,7 @@ func (r *Registry) Append(name string, rows []dataset.Row) (*Dataset, error) {
 	}
 	t := fresh.Table()
 	t.Name = name
-	nd, err := newDataset(t, engine.NewColumnStoreFromSource(fresh), "column", d.cfg)
+	nd, err := newDataset(t, zpackStore(fresh, d.cfg), "column", d.cfg)
 	if err != nil {
 		return nil, err
 	}

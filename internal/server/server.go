@@ -283,6 +283,7 @@ type DatasetInfo struct {
 	Backend    string       `json:"backend"`
 	Rows       int          `json:"rows"`
 	Segments   int          `json:"segments"`
+	Shards     int          `json:"shards,omitempty"`
 	Appendable bool         `json:"appendable"`
 	Opt        string       `json:"opt"`
 	Columns    []ColumnInfo `json:"columns"`
@@ -299,6 +300,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 			Backend:    d.backend,
 			Rows:       d.table.NumRows(),
 			Segments:   d.Segments(),
+			Shards:     d.ShardCount(),
 			Appendable: d.Appendable(),
 			Opt:        d.Opt().String(),
 		}

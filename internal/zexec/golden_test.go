@@ -181,8 +181,16 @@ func TestGoldenCorpus(t *testing.T) {
 				"bitmap": engine.NewBitmapStore(tbl),
 				"column": engine.NewColumnStore(tbl),
 				"zpack":  engine.NewColumnStoreFromSource(pack),
+				// Sharded variants: 3 deliberately uneven shards (SplitSourceAt
+				// rather than a balanced split) over the in-memory source and
+				// the same zpack reader. Scatter-gather must render the corpus
+				// byte-identically to the single-walk scan at every opt level.
+				"column-shard3": engine.NewShardedStoreFromShards(
+					engine.SplitSourceAt(engine.NewMemSource(tbl), unevenCuts(engine.NewMemSource(tbl).NumSegments()))),
+				"zpack-shard3": engine.NewShardedStoreFromShards(
+					engine.SplitSourceAt(pack, unevenCuts(pack.NumSegments()))),
 			}
-			for _, backend := range []string{"row", "bitmap", "column", "zpack"} {
+			for _, backend := range []string{"row", "bitmap", "column", "zpack", "column-shard3", "zpack-shard3"} {
 				db := backends[backend]
 				for _, gv := range goldenVariants() {
 					t.Run(backend+"/"+gv.name, func(t *testing.T) {
@@ -195,6 +203,15 @@ func TestGoldenCorpus(t *testing.T) {
 			}
 		})
 	}
+}
+
+// unevenCuts returns two lopsided interior cut points for a 3-way shard
+// split: the first quarter, then the half, leaving the last shard twice the
+// size of the middle one. On the single-segment fixtures this degenerates to
+// [0, 0] — two empty shards plus one full one — which is exactly the edge the
+// gather's identity-merge must handle.
+func unevenCuts(nseg int) []int {
+	return []int{nseg / 4, nseg / 2}
 }
 
 // clip keeps failure output readable for big results.

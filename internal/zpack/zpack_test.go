@@ -366,3 +366,66 @@ func TestGoldenFixtureBackwardReadable(t *testing.T) {
 	}
 	assertTablesEqual(t, r.Table(), want)
 }
+
+// TestShardedReaderRangeViews pins the footer-index sharding contract: a
+// zpack file shards into contiguous range views of the same reader without
+// rewriting a byte, zone-map pruning composes with sharding (a pruned
+// shard's segments are never read from disk, visible per shard), and the
+// gathered result equals the in-memory store's.
+func TestShardedReaderRangeViews(t *testing.T) {
+	tb := dataset.NewTable("clustered", []dataset.Field{
+		{Name: "k", Kind: dataset.KindInt},
+		{Name: "v", Kind: dataset.KindFloat},
+	})
+	const n = 5 * engine.SegmentSize
+	for i := 0; i < n; i++ {
+		tb.AppendRow(dataset.IV(int64(i)), dataset.FV(float64(i%100)))
+	}
+	r, err := Open(buildFile(t, tb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// 5 segments over 3 shards: [0,1), [1,3), [3,5).
+	db := engine.NewShardedStoreFromSource(3, r)
+	mem := engine.NewColumnStore(tb)
+	target := 2*engine.SegmentSize + 17
+	sql := fmt.Sprintf("SELECT k, v FROM clustered WHERE k = %d", target)
+	want, err := mem.ExecuteSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.ExecuteSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+		t.Errorf("sharded zpack result:\n got %v\nwant %v", got, want)
+	}
+	// The target row lives in segment 2, owned by shard 1: exactly one
+	// segment crosses the disk, through that shard's view.
+	if loads := r.SegmentLoads(); loads != 1 {
+		t.Errorf("sharded point query loaded %d segments, want 1", loads)
+	}
+	stats := db.ShardStats("clustered")
+	if len(stats) != 3 {
+		t.Fatalf("%d shard stats", len(stats))
+	}
+	for i, sc := range stats {
+		wantLoads := int64(0)
+		if i == 1 {
+			wantLoads = 1
+		}
+		if sc.SegmentLoads != wantLoads {
+			t.Errorf("shard %d loads = %d, want %d", i, sc.SegmentLoads, wantLoads)
+		}
+	}
+	// A full scan loads the rest, each segment exactly once despite the
+	// shard fan-out.
+	if _, err := db.ExecuteSQL("SELECT COUNT(*) AS c FROM clustered"); err != nil {
+		t.Fatal(err)
+	}
+	if loads := r.SegmentLoads(); loads != 5 {
+		t.Errorf("full scan loaded %d segments, want 5", loads)
+	}
+}
