@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -337,7 +338,7 @@ func BenchmarkBatchVsSequential(b *testing.B) {
 		})
 		b.Run(db.Name()+"/ExecuteBatch", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := db.ExecuteBatch(plans); err != nil {
+				if _, err := db.ExecuteBatch(context.Background(), plans); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -359,7 +360,7 @@ func BenchmarkColumnVsRowClusteredBatch(b *testing.B) {
 			before := db.Counters()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := db.ExecuteBatch(plans); err != nil {
+				if _, err := db.ExecuteBatch(context.Background(), plans); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -388,7 +389,7 @@ func BenchmarkShardedBatchSweep(b *testing.B) {
 			before := db.Counters()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := db.ExecuteBatch(plans); err != nil {
+				if _, err := db.ExecuteBatch(context.Background(), plans); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -8,6 +8,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -230,6 +231,15 @@ func (s *Session) QueryWithInputs(src string, inputs map[string][]float64) (*zex
 // QueryAt executes a ZQL query at an explicit optimization level, overriding
 // the session default — the query server uses this for per-request levels.
 func (s *Session) QueryAt(src string, inputs map[string][]float64, opt zexec.OptLevel) (*zexec.Result, error) {
+	return s.QueryContext(context.Background(), src, inputs, opt)
+}
+
+// QueryContext executes a ZQL query under a context at an explicit
+// optimization level. A deadline or cancellation stops the execution at the
+// engine's next cancellation point (segment / scan-block boundary, or
+// between process-phase tuples); the returned error then wraps ctx.Err(),
+// and a *zexec.PartialError carries the stats accumulated before the cut.
+func (s *Session) QueryContext(ctx context.Context, src string, inputs map[string][]float64, opt zexec.OptLevel) (*zexec.Result, error) {
 	q, err := zql.Parse(src)
 	if err != nil {
 		s.record(src, nil, err)
@@ -242,7 +252,7 @@ func (s *Session) QueryAt(src string, inputs map[string][]float64, opt zexec.Opt
 			opts.Inputs[name] = vis.FromFloats(ys)
 		}
 	}
-	res, err := zexec.Run(q, s.db, opts)
+	res, err := zexec.RunContext(ctx, q, s.db, opts)
 	s.record(src, res, err)
 	return res, err
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -89,14 +90,14 @@ func perfBatchPlans(db engine.DB, zvals []string, n int) ([]*engine.Plan, error)
 // timeBatch runs the batch iters times (after one warmup) and returns
 // best/median wall time plus per-batch counter deltas.
 func timeBatch(db engine.DB, plans []*engine.Plan, iters int) (perfBatch, error) {
-	if _, err := db.ExecuteBatch(plans); err != nil {
+	if _, err := db.ExecuteBatch(context.Background(), plans); err != nil {
 		return perfBatch{}, err
 	}
 	before := db.Counters()
 	times := make([]time.Duration, iters)
 	for i := range times {
 		start := time.Now()
-		if _, err := db.ExecuteBatch(plans); err != nil {
+		if _, err := db.ExecuteBatch(context.Background(), plans); err != nil {
 			return perfBatch{}, err
 		}
 		times[i] = time.Since(start)

@@ -20,6 +20,8 @@
 //	curl localhost:8421/datasets
 //	curl -X POST localhost:8421/query -d '{"dataset":"sales","zql":"..."}'
 //	curl localhost:8421/stats
+//	curl localhost:8421/metrics     # Prometheus text format
+//	curl localhost:8421/readyz      # readiness (healthz is liveness)
 package main
 
 import (
@@ -48,18 +50,21 @@ func main() {
 	log.SetPrefix("zserved: ")
 	var dataSpecs []string
 	var (
-		addr     = flag.String("addr", ":8421", "listen address")
-		demos    = flag.String("demo", "", "comma-separated built-in demo datasets: sales, airline, census, housing")
-		backend  = flag.String("backend", "row", "storage back-end for every dataset: row, bitmap, or column")
-		cache    = flag.Int("cache", server.DefaultCacheEntries, "result cache entries per dataset (negative disables)")
-		workers  = flag.Int("workers", 1, "coalescing workers per dataset (1 maximizes shared scans)")
-		pworkers = flag.Int("process-workers", 0, "process-phase worker goroutines per query (0 = auto)")
-		optName  = flag.String("opt", "intertask", "default optimization level: noopt, intraline, intratask, intertask (or o0..o3)")
-		metric   = flag.String("metric", "euclidean", "distance metric D: euclidean, dtw, kl, emd (raw- prefix skips normalization)")
-		shards   = flag.Int("shards", 0, "segment shards per column/zpack dataset, scanned in parallel (0 = one per CPU core, 1 = unsharded; row/bitmap ignore it)")
-		seed     = flag.Int64("seed", 42, "seed for R (k-means) determinism")
-		demoRows = flag.Int("demo-rows", 50000, "row count for the demo generators")
-		grace    = flag.Duration("grace", 10*time.Second, "graceful shutdown drain window for in-flight queries")
+		addr      = flag.String("addr", ":8421", "listen address")
+		demos     = flag.String("demo", "", "comma-separated built-in demo datasets: sales, airline, census, housing")
+		backend   = flag.String("backend", "row", "storage back-end for every dataset: row, bitmap, or column")
+		cache     = flag.Int("cache", server.DefaultCacheEntries, "result cache entries per dataset (negative disables)")
+		workers   = flag.Int("workers", 1, "coalescing workers per dataset (1 maximizes shared scans)")
+		pworkers  = flag.Int("process-workers", 0, "process-phase worker goroutines per query (0 = auto)")
+		optName   = flag.String("opt", "intertask", "default optimization level: noopt, intraline, intratask, intertask (or o0..o3)")
+		metric    = flag.String("metric", "euclidean", "distance metric D: euclidean, dtw, kl, emd (raw- prefix skips normalization)")
+		shards    = flag.Int("shards", 0, "segment shards per column/zpack dataset, scanned in parallel (0 = one per CPU core, 1 = unsharded; row/bitmap ignore it)")
+		seed      = flag.Int64("seed", 42, "seed for R (k-means) determinism")
+		demoRows  = flag.Int("demo-rows", 50000, "row count for the demo generators")
+		grace     = flag.Duration("grace", 10*time.Second, "graceful shutdown drain window for in-flight queries")
+		timeout   = flag.Duration("timeout", 0, "default per-request execution deadline (0 = none; X-Timeout header overrides per request)")
+		maxQueue  = flag.Int("max-queue", server.DefaultMaxQueue, "admission queue bound per dataset before 429 shedding (negative = unbounded)")
+		accessLog = flag.Bool("access-log", false, "write one JSON access-log line per request to stderr")
 	)
 	flag.Func("data", "dataset to serve: name=path.csv, name=path.zpack, or a directory of *.zpack files (repeatable)", func(v string) error {
 		dataSpecs = append(dataSpecs, v)
@@ -85,6 +90,7 @@ func main() {
 		Seed:               *seed,
 		CacheEntries:       *cache,
 		Workers:            *workers,
+		MaxQueue:           *maxQueue,
 		ProcessParallelism: *pworkers,
 		Shards:             *shards,
 	}
@@ -111,10 +117,19 @@ func main() {
 	if len(reg.List()) == 0 {
 		log.Fatal("nothing to serve: provide -data name=path.csv and/or -demo names")
 	}
+	// Every dataset is loaded; /readyz may pass from here on.
+	reg.SetReady(true)
 
+	var srvOpts []server.Option
+	if *timeout > 0 {
+		srvOpts = append(srvOpts, server.WithTimeout(*timeout))
+	}
+	if *accessLog {
+		srvOpts = append(srvOpts, server.WithAccessLog(os.Stderr))
+	}
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      server.New(reg),
+		Handler:      server.New(reg, srvOpts...),
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 5 * time.Minute, // big result sets over slow links
 		IdleTimeout:  2 * time.Minute,

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -93,7 +94,7 @@ func TestExecuteBatchMatchesExecute(t *testing.T) {
 	sqls := genWorkload(23, 64)
 	for _, db := range allStores(tb) {
 		plans := mustPrepareAll(t, db, sqls)
-		batch, err := db.ExecuteBatch(plans)
+		batch, err := db.ExecuteBatch(context.Background(), plans)
 		if err != nil {
 			t.Fatalf("%s: ExecuteBatch: %v", db.Name(), err)
 		}
@@ -116,11 +117,11 @@ func TestExecuteBatchAcrossStores(t *testing.T) {
 	tb := salesTable()
 	sqls := genWorkload(41, 48)
 	row, bit := NewRowStore(tb), NewBitmapStore(tb)
-	rowRes, err := row.ExecuteBatch(mustPrepareAll(t, row, sqls))
+	rowRes, err := row.ExecuteBatch(context.Background(), mustPrepareAll(t, row, sqls))
 	if err != nil {
 		t.Fatal(err)
 	}
-	bitRes, err := bit.ExecuteBatch(mustPrepareAll(t, bit, sqls))
+	bitRes, err := bit.ExecuteBatch(context.Background(), mustPrepareAll(t, bit, sqls))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestExecuteBatchParallelismOne(t *testing.T) {
 	sqls := genWorkload(7, 16)
 	plans := mustPrepareAll(t, db, sqls)
 	before := db.Counters()
-	batch, err := db.ExecuteBatch(plans)
+	batch, err := db.ExecuteBatch(context.Background(), plans)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,10 +201,10 @@ func TestPrepareRejectsForeignPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bit.ExecuteBatch([]*Plan{p}); err == nil {
+	if _, err := bit.ExecuteBatch(context.Background(), []*Plan{p}); err == nil {
 		t.Error("bitmap store accepted a row-store plan")
 	}
-	if _, err := row.ExecuteBatch([]*Plan{nil}); err == nil {
+	if _, err := row.ExecuteBatch(context.Background(), []*Plan{nil}); err == nil {
 		t.Error("nil plan accepted")
 	}
 }
@@ -225,7 +226,7 @@ func TestExecuteBatchMultiTable(t *testing.T) {
 		"SELECT COUNT(*) AS n FROM sales WHERE product = 'chair'",
 	}
 	plans := mustPrepareAll(t, db, sqls)
-	batch, err := db.ExecuteBatch(plans)
+	batch, err := db.ExecuteBatch(context.Background(), plans)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -382,13 +383,19 @@ func (s *BitmapStore) planAccess(p *Plan, cache bitmapCache) (rowIter, int64, er
 // legs common across plans (constraints repeated on every query of a request
 // batch, shared slice attributes) hit the index once. The surviving per-plan
 // drains then run concurrently, bounded by Parallelism.
-func (s *BitmapStore) ExecuteBatch(plans []*Plan) ([]*Result, error) {
+func (s *BitmapStore) ExecuteBatch(ctx context.Context, plans []*Plan) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := checkBatch(s, plans); err != nil {
 		return nil, err
 	}
 	cache := make(bitmapCache)
 	iters := make([]rowIter, len(plans))
 	for i, p := range plans {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iter, scanned, err := s.planAccess(p, cache)
 		if err != nil {
 			return nil, fmt.Errorf("engine: batch plan %q: %w", p.SQL(), err)
@@ -407,6 +414,12 @@ func (s *BitmapStore) ExecuteBatch(plans []*Plan) ([]*Result, error) {
 		go func(i int, p *Plan) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// Cancellation point: a plan drain is all-or-nothing, so a
+			// cancelled batch skips plans not yet drained.
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			results[i], errs[i] = p.run(iters[i])
 		}(i, p)
 	}

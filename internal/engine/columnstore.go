@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"context"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/minisql"
@@ -30,6 +32,7 @@ type ColumnStore struct {
 	tables map[string]*dataset.Table
 	cols   map[string]*colTable
 	stats  counters
+	prov   skipProv
 }
 
 // colTable is the segmented view of one base table. src is the segment
@@ -46,6 +49,15 @@ type colTable struct {
 	segLo, segHi int
 	zones        map[string]*ZoneData // by column name
 	intCodes     map[string]*IntDict  // low-cardinality int columns, by name
+	loaded       []atomic.Bool        // owned segments a scan has materialized
+	loads        atomic.Int64         // distinct owned segments materialized
+}
+
+// markLoaded counts the first materialization of an owned segment.
+func (ct *colTable) markLoaded(seg int) {
+	if i := seg - ct.segLo; i >= 0 && i < len(ct.loaded) && !ct.loaded[i].Swap(true) {
+		ct.loads.Add(1)
+	}
 }
 
 // newColTable builds the segmented view over a source's metadata.
@@ -62,6 +74,7 @@ func newColTable(src SegmentSource) *colTable {
 		segHi:    hi,
 		zones:    make(map[string]*ZoneData, t.NumCols()),
 		intCodes: make(map[string]*IntDict),
+		loaded:   make([]atomic.Bool, hi-lo),
 	}
 	for _, c := range t.Columns() {
 		ct.zones[c.Field.Name] = src.Zone(c.Field.Name)
@@ -128,6 +141,22 @@ func (s *ColumnStore) Table(name string) *dataset.Table { return s.tables[name] 
 // Counters returns cumulative execution statistics.
 func (s *ColumnStore) Counters() Counters { return s.stats.snapshot() }
 
+// SkipProvenance returns cumulative skip counts attributed to the column and
+// metadata kind (zone map / dictionary bitset) that proved each skipped
+// segment empty.
+func (s *ColumnStore) SkipProvenance() map[SkipAttr]int64 { return s.prov.snapshot() }
+
+// SegmentLoads returns how many distinct segments of the named table scans
+// have materialized — for zpack-backed sources, segments actually read from
+// disk. Zone-map-skipped segments never load, so this lags SegmentsScanned's
+// per-scan accounting.
+func (s *ColumnStore) SegmentLoads(table string) int64 {
+	if ct := s.cols[table]; ct != nil {
+		return ct.loads.Load()
+	}
+	return 0
+}
+
 // vecPlan is the column store's per-plan compilation: the WHERE clause split
 // into top-level conjuncts, each lowered to a vectorized filter and keyed by
 // its canonical SQL so a batch can share evaluations across plans.
@@ -137,19 +166,21 @@ type vecPlan struct {
 }
 
 type vecConjunct struct {
-	key string // canonical SQL of the conjunct, the sharing key
-	f   vecFilter
+	key  string // canonical SQL of the conjunct, the sharing key
+	f    vecFilter
+	attr SkipAttr // which column/metadata a skip by this conjunct credits
 }
 
-// skip reports whether the zone maps prove segment seg holds no row
-// matching ALL conjuncts.
-func (v *vecPlan) skip(seg int) bool {
+// skipCause reports whether the zone maps prove segment seg holds no row
+// matching ALL conjuncts, and if so which conjunct proved it (the first
+// proving conjunct wins, matching evaluation order).
+func (v *vecPlan) skipCause(seg int) (SkipAttr, bool) {
 	for _, c := range v.conjs {
 		if c.f.skip(seg) {
-			return true
+			return c.attr, true
 		}
 	}
-	return false
+	return SkipAttr{}, false
 }
 
 // Prepare validates and column-resolves a parsed query, then attaches the
@@ -171,7 +202,7 @@ func (s *ColumnStore) Prepare(q *minisql.Query) (*Plan, error) {
 			if err != nil {
 				return nil, err
 			}
-			vp.conjs = append(vp.conjs, vecConjunct{key: c.SQL(), f: f})
+			vp.conjs = append(vp.conjs, vecConjunct{key: c.SQL(), f: f, attr: conjAttr(c, f)})
 		}
 	}
 	p.vec = vp
@@ -202,7 +233,10 @@ func (s *ColumnStore) ExecuteSQL(sql string) (*Result, error) {
 // worker walks the table's segments once for all of its plans, evaluating
 // every distinct predicate conjunct at most once per segment and skipping
 // (plan, segment) pairs the zone maps prove empty.
-func (s *ColumnStore) ExecuteBatch(plans []*Plan) ([]*Result, error) {
+func (s *ColumnStore) ExecuteBatch(ctx context.Context, plans []*Plan) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := checkBatch(s, plans); err != nil {
 		return nil, err
 	}
@@ -224,7 +258,7 @@ func (s *ColumnStore) ExecuteBatch(plans []*Plan) ([]*Result, error) {
 				for k, pi := range shard {
 					sinks[k] = newColSink(plans[pi])
 				}
-				if err := s.scanInto(ct, plans, shard, sinks); err != nil {
+				if err := s.scanInto(ctx, ct, plans, shard, sinks); err != nil {
 					// A failed segment load poisons every plan in the
 					// worker's share: each may have consumed partial data
 					// from the scan so far.
@@ -262,13 +296,14 @@ type colEqGroup struct {
 	codes   []int32
 	route   [][]rowSink    // dictionary code -> sinks that want the row
 	filters []*catEqFilter // one per member plan, for per-plan zone tests
+	attrs   []SkipAttr     // parallel to filters, for skip attribution
 }
 
 // scanPartial runs every plan's scan over the store's segment range on the
 // calling goroutine and returns the raw, unfinished sinks, plan-aligned —
 // the scatter half of the sharded store's scatter/gather. All plans must
 // read one table (the sharded store scatters per table group).
-func (s *ColumnStore) scanPartial(plans []*Plan) ([]rowSink, error) {
+func (s *ColumnStore) scanPartial(ctx context.Context, plans []*Plan) ([]rowSink, error) {
 	ct := s.cols[plans[0].t.Name]
 	shard := make([]int, len(plans))
 	sinks := make([]rowSink, len(plans))
@@ -277,7 +312,7 @@ func (s *ColumnStore) scanPartial(plans []*Plan) ([]rowSink, error) {
 		sinks[k] = newColSink(p)
 	}
 	s.stats.queries.Add(int64(len(plans)))
-	if err := s.scanInto(ct, plans, shard, sinks); err != nil {
+	if err := s.scanInto(ctx, ct, plans, shard, sinks); err != nil {
 		return nil, err
 	}
 	return sinks, nil
@@ -290,8 +325,10 @@ func (s *ColumnStore) scanPartial(plans []*Plan) ([]rowSink, error) {
 // and intersected per plan. A segment's data is materialized through the
 // table's segment source the first time any plan actually scans it —
 // zone-map-skipped segments are never loaded. The first failed segment load
-// is returned; sinks may then hold partial data and must be discarded.
-func (s *ColumnStore) scanInto(ct *colTable, plans []*Plan, shard []int, sinks []rowSink) error {
+// is returned; sinks may then hold partial data and must be discarded. The
+// context is checked once per segment: a cancelled scan stops at the next
+// segment boundary and returns ctx.Err().
+func (s *ColumnStore) scanInto(ctx context.Context, ct *colTable, plans []*Plan, shard []int, sinks []rowSink) error {
 	// Partition the shard: dispatchable single-equality plans fold into
 	// per-column groups, everything else goes through the shared-conjunct
 	// slots.
@@ -313,6 +350,7 @@ func (s *ColumnStore) scanInto(ct *colTable, plans []*Plan, shard []int, sinks [
 				}
 				g.route[f.code] = append(g.route[f.code], sinks[k])
 				g.filters = append(g.filters, f)
+				g.attrs = append(g.attrs, vp.conjs[0].attr)
 				continue
 			}
 		}
@@ -341,9 +379,16 @@ func (s *ColumnStore) scanInto(ct *colTable, plans []*Plan, shard []int, sinks [
 	}
 	slotDone := make([]bool, len(filters))
 	acc := newSegBits()
-	var scanned, skipped int64
+	var scanned, skipped, segsScanned int64
+	prov := make(map[SkipAttr]int64)
 	var loadErr error
 	for seg := ct.segLo; seg < ct.segHi && loadErr == nil; seg++ {
+		// The segment boundary is the scan's cancellation point: a deadline
+		// or client disconnect stops the walk here, never mid-segment.
+		if err := ctx.Err(); err != nil {
+			loadErr = err
+			break
+		}
 		lo, hi := ct.segBounds(seg)
 		for i := range slotDone {
 			slotDone[i] = false
@@ -360,15 +405,18 @@ func (s *ColumnStore) scanInto(ct *colTable, plans []*Plan, shard []int, sinks [
 				loadErr = err
 				return false
 			}
+			ct.markLoaded(seg)
 			visited = true
+			segsScanned++
 			scanned += int64(hi - lo)
 			return true
 		}
 		for _, g := range groups {
 			live := false
-			for _, f := range g.filters {
+			for gi, f := range g.filters {
 				if f.skip(seg) {
 					skipped++
+					prov[g.attrs[gi]]++
 				} else {
 					live = true
 				}
@@ -393,8 +441,9 @@ func (s *ColumnStore) scanInto(ct *colTable, plans []*Plan, shard []int, sinks [
 				break
 			}
 			vp := plans[shard[k]].vec
-			if vp.skip(seg) {
+			if attr, ok := vp.skipCause(seg); ok {
 				skipped++
+				prov[attr]++
 				continue
 			}
 			if !visit() {
@@ -423,7 +472,9 @@ func (s *ColumnStore) scanInto(ct *colTable, plans []*Plan, shard []int, sinks [
 		}
 	}
 	s.stats.rowsScanned.Add(scanned)
+	s.stats.segmentsScanned.Add(segsScanned)
 	s.stats.segmentsSkipped.Add(skipped)
+	s.prov.addAll(prov)
 	return loadErr
 }
 

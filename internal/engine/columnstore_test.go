@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -41,11 +42,11 @@ func TestColumnStoreMatchesRowStore(t *testing.T) {
 	rowPlans := mustPrepareAll(t, row, sqls)
 	colPlans := mustPrepareAll(t, col, sqls)
 
-	rowBatch, err := row.ExecuteBatch(rowPlans)
+	rowBatch, err := row.ExecuteBatch(context.Background(), rowPlans)
 	if err != nil {
 		t.Fatal(err)
 	}
-	colBatch, err := col.ExecuteBatch(colPlans)
+	colBatch, err := col.ExecuteBatch(context.Background(), colPlans)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestColumnStoreBatchConjunctSharing(t *testing.T) {
 	}
 	plans := mustPrepareAll(t, col, sqls)
 	before := col.Counters()
-	batch, err := col.ExecuteBatch(plans)
+	batch, err := col.ExecuteBatch(context.Background(), plans)
 	if err != nil {
 		t.Fatal(err)
 	}

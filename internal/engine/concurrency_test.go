@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -75,7 +76,7 @@ func TestConcurrentReaders(t *testing.T) {
 								return
 							}
 						}
-						results, err := db.ExecuteBatch(plans)
+						results, err := db.ExecuteBatch(context.Background(), plans)
 						if err != nil {
 							errs <- err
 							return

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -47,7 +48,12 @@ type DB interface {
 	// predicate conjunct bitmaps once, and the column store evaluates common
 	// predicate conjuncts segment-at-a-time once per scan worker. Results
 	// align with plans.
-	ExecuteBatch(plans []*Plan) ([]*Result, error)
+	//
+	// The context bounds the batch: cancellation is observed at store-specific
+	// boundaries (segment boundaries for the column and sharded stores, scan
+	// blocks for the row store, plan drains for the bitmap store) and the
+	// batch returns ctx.Err(). A nil context is treated as context.Background.
+	ExecuteBatch(ctx context.Context, plans []*Plan) ([]*Result, error)
 	// Counters returns cumulative execution statistics.
 	Counters() Counters
 }
@@ -88,15 +94,19 @@ func (p *parLimit) parallelism() int {
 // visits the rows of every segment its zone maps could not prove empty.
 // SegmentsSkipped is column-store only: the number of (plan, segment) pairs
 // the zone maps proved empty, each saving a segment's worth of scanning.
+// SegmentsScanned is its complement: the number of (worker, segment) pairs a
+// scan actually materialized and visited.
 type Counters struct {
 	Queries         int64
 	RowsScanned     int64
+	SegmentsScanned int64
 	SegmentsSkipped int64
 }
 
 type counters struct {
 	queries         atomic.Int64
 	rowsScanned     atomic.Int64
+	segmentsScanned atomic.Int64
 	segmentsSkipped atomic.Int64
 }
 
@@ -104,6 +114,7 @@ func (c *counters) snapshot() Counters {
 	return Counters{
 		Queries:         c.queries.Load(),
 		RowsScanned:     c.rowsScanned.Load(),
+		SegmentsScanned: c.segmentsScanned.Load(),
 		SegmentsSkipped: c.segmentsSkipped.Load(),
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -124,10 +125,16 @@ type planRunner interface {
 
 // Execute runs the plan against the back-end that prepared it.
 func (p *Plan) Execute() (*Result, error) {
+	return p.ExecuteContext(context.Background())
+}
+
+// ExecuteContext runs the plan under a context; cancellation is observed at
+// the back-end's batch cancellation points.
+func (p *Plan) ExecuteContext(ctx context.Context) (*Result, error) {
 	if r, ok := p.db.(planRunner); ok {
 		return r.runPlan(p)
 	}
-	results, err := p.db.ExecuteBatch([]*Plan{p})
+	results, err := p.db.ExecuteBatch(ctx, []*Plan{p})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/dataset"
@@ -73,7 +74,10 @@ func (s *RowStore) runPlan(p *Plan) (*Result, error) {
 // and every worker performs ONE scan of the table for all of its plans: each
 // row visits every plan's predicate and aggregation state. For a batch of n
 // plans this performs min(n, Parallelism) scans instead of n.
-func (s *RowStore) ExecuteBatch(plans []*Plan) ([]*Result, error) {
+func (s *RowStore) ExecuteBatch(ctx context.Context, plans []*Plan) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := checkBatch(s, plans); err != nil {
 		return nil, err
 	}
@@ -94,7 +98,7 @@ func (s *RowStore) ExecuteBatch(plans []*Plan) ([]*Result, error) {
 			go func(shard []int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				scanShard(t, plans, shard, results, errs)
+				scanShard(ctx, t, plans, shard, results, errs)
 			}(shard)
 		}
 	}
@@ -120,7 +124,9 @@ type eqDispatch struct {
 }
 
 // scanShard executes one shared scan of t serving every plan in the shard.
-func scanShard(t *dataset.Table, plans []*Plan, shard []int, results []*Result, errs []error) {
+// The context is checked once per scan block: a cancelled scan stops at the
+// next block boundary and poisons every plan in the shard with ctx.Err().
+func scanShard(ctx context.Context, t *dataset.Table, plans []*Plan, shard []int, results []*Result, errs []error) {
 	sinks := make([]*planSink, len(shard))
 	for k, pi := range shard {
 		sinks[k] = plans[pi].newSink()
@@ -153,6 +159,12 @@ func scanShard(t *dataset.Table, plans []*Plan, shard []int, results []*Result, 
 	}
 	n := t.NumRows()
 	for lo := 0; lo < n; lo += scanBlock {
+		if err := ctx.Err(); err != nil {
+			for _, pi := range shard {
+				errs[pi] = err
+			}
+			return
+		}
 		hi := lo + scanBlock
 		if hi > n {
 			hi = n

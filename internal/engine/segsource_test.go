@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -119,7 +120,7 @@ func TestLazySourceLoadErrorPropagates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.ExecuteBatch([]*Plan{p1, p2}); err == nil {
+	if _, err := db.ExecuteBatch(context.Background(), []*Plan{p1, p2}); err == nil {
 		t.Fatal("batch touching the bad segment should fail")
 	}
 }

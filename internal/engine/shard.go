@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -113,7 +114,8 @@ type ShardedStore struct {
 	parLimit
 	tables map[string]*dataset.Table
 	shards map[string][]*ColumnStore
-	stats  counters // Queries only; scan counters live in the shard stores
+	stats  counters     // Queries only; scan counters live in the shard stores
+	busy   atomic.Int64 // scatter workers currently running (pool saturation)
 }
 
 // NewShardedStore builds a sharded store over in-memory tables, splitting
@@ -192,10 +194,41 @@ func (s *ShardedStore) Counters() Counters {
 		for _, st := range stores {
 			sc := st.Counters()
 			c.RowsScanned += sc.RowsScanned
+			c.SegmentsScanned += sc.SegmentsScanned
 			c.SegmentsSkipped += sc.SegmentsSkipped
 		}
 	}
 	return c
+}
+
+// SkipProvenance returns cumulative skip attribution, summed across shards.
+func (s *ShardedStore) SkipProvenance() map[SkipAttr]int64 {
+	var out map[SkipAttr]int64
+	for _, stores := range s.shards {
+		for _, st := range stores {
+			out = mergeSkipProv(out, st.SkipProvenance())
+		}
+	}
+	if out == nil {
+		out = make(map[SkipAttr]int64)
+	}
+	return out
+}
+
+// SegmentLoads returns how many distinct segments of the named table have
+// been materialized, summed across shards.
+func (s *ShardedStore) SegmentLoads(table string) int64 {
+	var n int64
+	for _, c := range s.ShardStats(table) {
+		n += c.SegmentLoads
+	}
+	return n
+}
+
+// PoolStats reports the scatter pool's saturation: workers currently running
+// and the pool's capacity bound.
+func (s *ShardedStore) PoolStats() (busy, capacity int) {
+	return int(s.busy.Load()), s.parallelism()
 }
 
 // ShardCounters reports one shard's cumulative share of the scan work.
@@ -293,7 +326,10 @@ func (s *ShardedStore) ExecuteSQL(sql string) (*Result, error) {
 // every shard runs to completion (no partial-batch aborts), panics are
 // contained per shard job, and the error of the lowest failing shard index
 // wins deterministically.
-func (s *ShardedStore) ExecuteBatch(plans []*Plan) ([]*Result, error) {
+func (s *ShardedStore) ExecuteBatch(ctx context.Context, plans []*Plan) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := checkBatch(s, plans); err != nil {
 		return nil, err
 	}
@@ -326,7 +362,9 @@ func (s *ShardedStore) ExecuteBatch(plans []*Plan) ([]*Result, error) {
 			go func(si int, shard *ColumnStore, sub []*Plan) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				job.parts[si], job.shardErrs[si] = runShardContained(shard, sub)
+				s.busy.Add(1)
+				defer s.busy.Add(-1)
+				job.parts[si], job.shardErrs[si] = runShardContained(ctx, shard, sub)
 			}(si, shard, sub)
 		}
 	}
@@ -363,13 +401,13 @@ func (s *ShardedStore) ExecuteBatch(plans []*Plan) ([]*Result, error) {
 // runShardContained executes one shard's scan, containing panics as errors:
 // an unrecovered panic on a scatter goroutine would kill the whole process
 // (cf. the process pool's runContained and the server batcher's drain).
-func runShardContained(shard *ColumnStore, plans []*Plan) (sinks []rowSink, err error) {
+func runShardContained(ctx context.Context, shard *ColumnStore, plans []*Plan) (sinks []rowSink, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("engine: shard panic: %v", r)
 		}
 	}()
-	return shard.scanPartial(plans)
+	return shard.scanPartial(ctx, plans)
 }
 
 // gatherPartials merges one plan's per-shard sinks in shard order and

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -107,7 +108,7 @@ func TestShardedBatchMatchesUnsharded(t *testing.T) {
 		}
 		want = append(want, w)
 	}
-	got, err := db.ExecuteBatch(plans)
+	got, err := db.ExecuteBatch(context.Background(), plans)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestShardedErrorSelectionDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for trial := 0; trial < 30; trial++ {
-		_, err := db.ExecuteBatch([]*Plan{p})
+		_, err := db.ExecuteBatch(context.Background(), []*Plan{p})
 		if err == nil {
 			t.Fatal("want error")
 		}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -25,7 +26,7 @@ type slowDB struct {
 	calls  atomic.Int64
 }
 
-func (d *slowDB) ExecuteBatch(plans []*engine.Plan) ([]*engine.Result, error) {
+func (d *slowDB) ExecuteBatch(ctx context.Context, plans []*engine.Plan) ([]*engine.Result, error) {
 	d.calls.Add(1)
 	time.Sleep(d.delay)
 	if d.poison != "" {
@@ -35,14 +36,14 @@ func (d *slowDB) ExecuteBatch(plans []*engine.Plan) ([]*engine.Result, error) {
 			}
 		}
 	}
-	return d.DB.ExecuteBatch(plans)
+	return d.DB.ExecuteBatch(ctx, plans)
 }
 
 func batcherFixture(t *testing.T, delay time.Duration, poison string) (*slowDB, *batcher, []*engine.Plan) {
 	t.Helper()
 	tbl := workload.Sales(workload.SalesConfig{Rows: 2000, Products: 4, Years: 5, Cities: 2, Seed: 2})
 	db := &slowDB{DB: engine.NewRowStore(tbl), delay: delay, poison: poison}
-	bat := newBatcher(db, 1)
+	bat := newBatcher(db, 1, 0)
 	sqls := []string{
 		"SELECT year, SUM(revenue) FROM sales GROUP BY year ORDER BY year",
 		"SELECT product, COUNT(*) FROM sales GROUP BY product ORDER BY product",
@@ -80,7 +81,7 @@ func TestBatcherCoalescesConcurrentSubmissions(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			pi := g % len(plans)
-			results, err := bat.submit([]*engine.Plan{plans[pi]})
+			results, err := bat.submit(context.Background(), []*engine.Plan{plans[pi]})
 			if err != nil {
 				errs <- err
 				return
@@ -111,7 +112,7 @@ func TestBatcherIsolatesErrorsToTheFailingSubmission(t *testing.T) {
 	// batch containing both the poisoned and a healthy plan.
 	blocker := make(chan error, 1)
 	go func() {
-		_, err := bat.submit([]*engine.Plan{plans[0]})
+		_, err := bat.submit(context.Background(), []*engine.Plan{plans[0]})
 		blocker <- err
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -120,11 +121,11 @@ func TestBatcherIsolatesErrorsToTheFailingSubmission(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		_, poisonErr = bat.submit([]*engine.Plan{plans[2]}) // matches poison
+		_, poisonErr = bat.submit(context.Background(), []*engine.Plan{plans[2]}) // matches poison
 	}()
 	go func() {
 		defer wg.Done()
-		_, goodErr = bat.submit([]*engine.Plan{plans[1]})
+		_, goodErr = bat.submit(context.Background(), []*engine.Plan{plans[1]})
 	}()
 	wg.Wait()
 	if err := <-blocker; err != nil {
@@ -158,19 +159,19 @@ type panicDB struct {
 	trigger string
 }
 
-func (d *panicDB) ExecuteBatch(plans []*engine.Plan) ([]*engine.Result, error) {
+func (d *panicDB) ExecuteBatch(ctx context.Context, plans []*engine.Plan) ([]*engine.Result, error) {
 	for _, p := range plans {
 		if strings.Contains(p.SQL(), d.trigger) {
 			panic("latent engine bug")
 		}
 	}
-	return d.DB.ExecuteBatch(plans)
+	return d.DB.ExecuteBatch(ctx, plans)
 }
 
 func TestBatcherContainsEnginePanics(t *testing.T) {
 	tbl := workload.Sales(workload.SalesConfig{Rows: 1000, Products: 4, Years: 5, Cities: 2, Seed: 2})
 	db := &panicDB{DB: engine.NewRowStore(tbl), trigger: "product0000"}
-	bat := newBatcher(db, 1)
+	bat := newBatcher(db, 1, 0)
 	prep := func(sql string) *engine.Plan {
 		q, err := minisql.Parse(sql)
 		if err != nil {
@@ -184,12 +185,12 @@ func TestBatcherContainsEnginePanics(t *testing.T) {
 	}
 	bad := prep("SELECT COUNT(*) FROM sales WHERE product='product0000'")
 	good := prep("SELECT COUNT(*) FROM sales")
-	if _, err := bat.submit([]*engine.Plan{bad}); err == nil || !strings.Contains(err.Error(), "panic") {
+	if _, err := bat.submit(context.Background(), []*engine.Plan{bad}); err == nil || !strings.Contains(err.Error(), "panic") {
 		t.Fatalf("panicking submission: err = %v, want contained panic", err)
 	}
 	// The batcher (and its worker accounting) must survive to serve the next
 	// submission.
-	results, err := bat.submit([]*engine.Plan{good})
+	results, err := bat.submit(context.Background(), []*engine.Plan{good})
 	if err != nil {
 		t.Fatalf("healthy submission after panic: %v", err)
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -174,7 +175,7 @@ func (d *cachingDB) Execute(q *minisql.Query) (*engine.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := d.ExecuteBatch([]*engine.Plan{p})
+	results, err := d.ExecuteBatch(context.Background(), []*engine.Plan{p})
 	if err != nil {
 		return nil, err
 	}
@@ -191,8 +192,9 @@ func (d *cachingDB) ExecuteSQL(sql string) (*engine.Result, error) {
 }
 
 // ExecuteBatch serves cache hits immediately and forwards only the missing
-// plans to the inner back-end as one (smaller) batch.
-func (d *cachingDB) ExecuteBatch(plans []*engine.Plan) ([]*engine.Result, error) {
+// plans to the inner back-end as one (smaller) batch. Cache hits cost no
+// admission: a fully-hit batch never consults ctx or the coalescer's queue.
+func (d *cachingDB) ExecuteBatch(ctx context.Context, plans []*engine.Plan) ([]*engine.Result, error) {
 	results := make([]*engine.Result, len(plans))
 	var missIdx []int
 	var missPlans []*engine.Plan
@@ -207,7 +209,7 @@ func (d *cachingDB) ExecuteBatch(plans []*engine.Plan) ([]*engine.Result, error)
 	if len(missPlans) == 0 {
 		return results, nil
 	}
-	fetched, err := d.inner.ExecuteBatch(missPlans)
+	fetched, err := d.inner.ExecuteBatch(ctx, missPlans)
 	if err != nil {
 		return nil, err
 	}

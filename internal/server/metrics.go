@@ -1,0 +1,184 @@
+package server
+
+import (
+	"strconv"
+
+	"repro/internal/obsv"
+)
+
+// metrics is the server's Prometheus-format instrumentation (GET /metrics),
+// built on the dependency-free internal/obsv library. Two kinds of series
+// coexist:
+//
+//   - request-path instruments (the http vec, the latency histogram) updated
+//     inline as requests are served;
+//   - scrape-time collectors that read the per-dataset counters the serving
+//     stack already keeps (store counters, cache stats, coalescer stats, skip
+//     provenance), so /metrics and /stats can never disagree.
+//
+// Every series carries the zen_ prefix; per-dataset series carry a dataset
+// label, so one scrape covers the whole registry.
+type metrics struct {
+	obsv *obsv.Registry
+
+	// requests counts finished HTTP requests by endpoint and status code.
+	requests *obsv.CounterVec
+	// latency observes query execution seconds by endpoint and effective
+	// optimization level.
+	latency *obsv.HistogramVec
+}
+
+// newMetrics builds the registry's metric families over reg. reg's dataset
+// list is consulted at scrape time, so datasets registered (or swapped by an
+// append) after startup are covered automatically.
+func newMetrics(reg *Registry) *metrics {
+	o := obsv.NewRegistry()
+	m := &metrics{
+		obsv: o,
+		requests: o.NewCounterVec("zen_http_requests_total",
+			"HTTP requests finished, by endpoint and status code.",
+			[]string{"endpoint", "code"}),
+		latency: o.NewHistogramVec("zen_query_duration_seconds",
+			"ZQL execution latency by endpoint and optimization level.",
+			[]string{"endpoint", "opt"}, nil),
+	}
+	o.NewGaugeFunc("zen_ready",
+		"1 when the registry passes readiness (/readyz), else 0.",
+		func() float64 {
+			if reg.Ready() {
+				return 1
+			}
+			return 0
+		})
+	perDataset := func(name, help, typ string, fn func(d *Dataset, s DatasetStats, emit func(v float64, labels ...obsv.Label))) {
+		o.NewCollector(name, help, typ, func(emit func(obsv.Sample)) {
+			for _, d := range reg.List() {
+				base := obsv.Label{Key: "dataset", Value: d.Name()}
+				fn(d, d.Stats(), func(v float64, labels ...obsv.Label) {
+					emit(obsv.Sample{Labels: append([]obsv.Label{base}, labels...), Value: v})
+				})
+			}
+		})
+	}
+	perDataset("zen_rows_scanned_total",
+		"Rows the store scanned (cache hits scan nothing).", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			emit(float64(s.RowsScanned))
+		})
+	perDataset("zen_segments_scanned_total",
+		"Zone-map segments the column store visited.", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			emit(float64(s.SegmentsScanned))
+		})
+	perDataset("zen_segments_skipped_total",
+		"Zone-map segments proved empty and never scanned.", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			emit(float64(s.SegmentsSkipped))
+		})
+	perDataset("zen_segments_loaded_total",
+		"Distinct segments ever materialized (zpack: read from disk).", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			emit(float64(s.SegmentLoads))
+		})
+	perDataset("zen_segment_skip_provenance_total",
+		"Segment skips attributed to the (column, metadata kind) that proved them empty.", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			for _, e := range s.SkipProvenance {
+				emit(float64(e.Count),
+					obsv.Label{Key: "column", Value: e.Column},
+					obsv.Label{Key: "via", Value: e.Via})
+			}
+		})
+	perDataset("zen_cache_hits_total",
+		"Result-cache hits.", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			emit(float64(s.Cache.Hits))
+		})
+	perDataset("zen_cache_misses_total",
+		"Result-cache misses.", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			emit(float64(s.Cache.Misses))
+		})
+	perDataset("zen_cache_evictions_total",
+		"Result-cache evictions, including wholesale invalidation on append.", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			emit(float64(s.Cache.Evictions))
+		})
+	perDataset("zen_cache_entries",
+		"Result-cache entries currently held.", "gauge",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			emit(float64(s.Cache.Entries))
+		})
+	perDataset("zen_coalesce_submissions_total",
+		"Engine submissions admitted through the coalescing queue.", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			emit(float64(s.Coalesce.Submissions))
+		})
+	perDataset("zen_coalesce_batches_total",
+		"Engine batches that served the submissions.", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			emit(float64(s.Coalesce.Batches))
+		})
+	perDataset("zen_coalesce_coalesced_total",
+		"Submissions that shared an engine batch with at least one other.", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			emit(float64(s.Coalesce.Coalesced))
+		})
+	perDataset("zen_queue_depth",
+		"Submissions parked at the admission queue right now.", "gauge",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			emit(float64(s.Coalesce.QueueDepth))
+		})
+	perDataset("zen_requests_shed_total",
+		"Submissions rejected with 429 because the admission queue was full.", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			emit(float64(s.Coalesce.Shed))
+		})
+	perDataset("zen_request_timeouts_total",
+		"Executions cut short by their request context (504 or 499).", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			emit(float64(s.HTTP.Timeouts))
+		})
+	perDataset("zen_shard_pool_busy",
+		"Shard scans in flight on the scatter pool (sharded datasets).", "gauge",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			if s.Pool != nil {
+				emit(float64(s.Pool.Busy))
+			}
+		})
+	perDataset("zen_shard_pool_capacity",
+		"Scatter pool capacity (sharded datasets).", "gauge",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			if s.Pool != nil {
+				emit(float64(s.Pool.Capacity))
+			}
+		})
+	perDataset("zen_shard_rows_scanned_total",
+		"Rows scanned per segment shard (sharded datasets).", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			for i, sh := range s.Shards {
+				emit(float64(sh.RowsScanned), obsv.Label{Key: "shard", Value: strconv.Itoa(i)})
+			}
+		})
+	perDataset("zen_process_tuples_total",
+		"Process-phase tuples scored.", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			emit(float64(s.Process.Tuples))
+		})
+	perDataset("zen_process_dist_abandoned_total",
+		"Distance calls the pruning kernels abandoned early.", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			emit(float64(s.Process.DistAbandoned))
+		})
+	return m
+}
+
+// observeRequest records one finished HTTP request.
+func (m *metrics) observeRequest(endpoint string, code int) {
+	m.requests.With(endpoint, strconv.Itoa(code)).Inc()
+}
+
+// observeQuery records one ZQL execution's wall time.
+func (m *metrics) observeQuery(endpoint, opt string, seconds float64) {
+	m.latency.With(endpoint, opt).Observe(seconds)
+}

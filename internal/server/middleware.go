@@ -1,0 +1,123 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// statusWriter captures the response status code (and whether a header was
+// written at all) so the access log and metrics see what the client saw.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// requestID returns the request's correlation ID: an inbound X-Request-ID is
+// honored (so a proxy's ID flows through), otherwise a fresh 16-hex-digit ID
+// is generated. The ID is echoed on the response either way.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 128 {
+		return id
+	}
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// accessEntry is one JSON access-log line. Fields are flat and stable so the
+// log is grep- and jq-friendly.
+type accessEntry struct {
+	Time      string  `json:"time"`
+	RequestID string  `json:"requestId"`
+	Method    string  `json:"method"`
+	Path      string  `json:"path"`
+	Status    int     `json:"status"`
+	LatencyMs float64 `json:"latencyMs"`
+	Remote    string  `json:"remote,omitempty"`
+}
+
+// accessLogger serializes JSON access-log lines to one writer.
+type accessLogger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+}
+
+func newAccessLogger(w io.Writer) *accessLogger {
+	return &accessLogger{w: w, enc: json.NewEncoder(w)}
+}
+
+func (l *accessLogger) log(e accessEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_ = l.enc.Encode(e)
+}
+
+// instrument wraps the mux with the outermost request middleware: assign the
+// X-Request-ID, capture the status, time the request, then feed the
+// per-request metrics and (when enabled) the JSON access log. Probe and
+// scrape endpoints flow through too — their request counts are often the
+// first sign of a misconfigured load balancer.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := requestID(r)
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing at all
+		}
+		s.metrics.observeRequest(endpointLabel(r), status)
+		if s.access != nil {
+			s.access.log(accessEntry{
+				Time:      start.UTC().Format(time.RFC3339Nano),
+				RequestID: id,
+				Method:    r.Method,
+				Path:      r.URL.Path,
+				Status:    status,
+				LatencyMs: float64(elapsed.Microseconds()) / 1000,
+				Remote:    r.RemoteAddr,
+			})
+		}
+	})
+}
+
+// endpointLabel collapses the request path onto a bounded label set so the
+// metrics cardinality cannot grow with traffic (append paths embed dataset
+// names; unknown paths collapse to "other").
+func endpointLabel(r *http.Request) string {
+	switch p := r.URL.Path; p {
+	case "/query", "/spec", "/recommend", "/datasets", "/stats",
+		"/healthz", "/readyz", "/metrics":
+		return p
+	default:
+		if len(p) > len("/datasets/") && p[:len("/datasets/")] == "/datasets/" {
+			return "/datasets/{name}/append"
+		}
+		return "other"
+	}
+}

@@ -37,6 +37,12 @@ import (
 // config does not set one.
 const DefaultCacheEntries = 1024
 
+// DefaultMaxQueue is the per-dataset admission-queue bound when the config
+// does not set one: the most submissions that may be parked at the coalescer
+// before new arrivals are shed with 429. Cache hits bypass the queue, so the
+// bound only gates work that would actually reach the engine.
+const DefaultMaxQueue = 256
+
 // Config tunes one registered dataset.
 type Config struct {
 	// Backend selects the store: "row" (default), "bitmap", or "column".
@@ -56,6 +62,10 @@ type Config struct {
 	// (<= 0 = 1 per dataset, which maximizes coalescing; the engine still
 	// parallelizes inside each batch).
 	Workers int
+	// MaxQueue bounds the submissions parked at the coalescer before new
+	// arrivals are shed with 429: 0 means DefaultMaxQueue, negative disables
+	// shedding (unbounded queue).
+	MaxQueue int
 	// Parallelism bounds the store's scan workers per batch (<= 0 =
 	// GOMAXPROCS). Applied once at registration; never per request.
 	Parallelism int
@@ -121,6 +131,11 @@ type dsCounters struct {
 	procTuples    atomic.Int64
 	procDist      atomic.Int64
 	procAbandoned atomic.Int64
+
+	// timeouts counts requests that hit their deadline (504) or whose client
+	// went away mid-execution (499) — both are executions the context cut
+	// short at an engine cancellation point.
+	timeouts atomic.Int64
 }
 
 // recordProcess folds one execution's process-phase counters into the
@@ -175,18 +190,45 @@ type DatasetStats struct {
 	// Engine counters are cumulative over the real store, so cache hits
 	// leave RowsScanned untouched — the visible win of the cache.
 	// SegmentsSkipped is nonzero only on the column backend: segments its
-	// zone maps proved empty and never scanned.
+	// zone maps proved empty and never scanned; SegmentsScanned are the ones
+	// that were actually visited, and SegmentLoads the distinct segments ever
+	// materialized (for zpack, read from disk).
 	Queries         int64         `json:"queries"`
 	RowsScanned     int64         `json:"rowsScanned"`
+	SegmentsScanned int64         `json:"segmentsScanned"`
 	SegmentsSkipped int64         `json:"segmentsSkipped"`
+	SegmentLoads    int64         `json:"segmentLoads,omitempty"`
 	Cache           CacheStats    `json:"cache"`
 	Coalesce        BatchStats    `json:"coalesce"`
 	Process         ProcessTotals `json:"process"`
 	HTTP            HTTPStats     `json:"http"`
 	History         int           `json:"historyEntries"`
+	// SkipProvenance attributes zone-map skips to the (column, metadata kind)
+	// that proved each skipped segment empty — highest count first. Only the
+	// column backend produces attributions.
+	SkipProvenance []SkipProvEntry `json:"skipProvenance,omitempty"`
+	// Pool is present only on sharded datasets: the scatter pool's in-flight
+	// shard scans against its capacity.
+	Pool *PoolStats `json:"pool,omitempty"`
 	// Shards is present only on sharded datasets: each shard's share of the
 	// scan work, in shard order. The store-wide counters above are the sums.
 	Shards []ShardStats `json:"shards,omitempty"`
+}
+
+// SkipProvEntry is one skip-attribution bucket: segments proved empty for
+// this dataset by the named column's metadata, via "dict" (categorical
+// dictionary bitset), "zonemap" (numeric min/max), "const" (constant-false
+// predicate), or "expr" (composite AND/OR proof).
+type SkipProvEntry struct {
+	Column string `json:"column"`
+	Via    string `json:"via"`
+	Count  int64  `json:"count"`
+}
+
+// PoolStats is the sharded scatter pool's instantaneous saturation.
+type PoolStats struct {
+	Busy     int `json:"busy"`
+	Capacity int `json:"capacity"`
 }
 
 // ShardStats is one segment shard's share of the scan work.
@@ -209,12 +251,33 @@ type ProcessTotals struct {
 	DistAbandoned int64 `json:"distAbandoned"`
 }
 
-// HTTPStats counts requests served per endpoint kind.
+// HTTPStats counts requests served per endpoint kind. Timeouts counts
+// executions cut short by their request context — deadline exceeded (504) or
+// client disconnect (499); both also count under Errors.
 type HTTPStats struct {
 	Queries    int64 `json:"queries"`
 	Specs      int64 `json:"specs"`
 	Recommends int64 `json:"recommends"`
 	Errors     int64 `json:"errors"`
+	Timeouts   int64 `json:"timeouts"`
+}
+
+// skipProvenance snapshots the store's skip attribution in emit order, or
+// nil for back-ends that don't attribute.
+func (d *Dataset) skipProvenance() []SkipProvEntry {
+	sp, ok := d.store.(engine.SkipAttributed)
+	if !ok {
+		return nil
+	}
+	m := sp.SkipProvenance()
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]SkipProvEntry, 0, len(m))
+	for _, a := range engine.SortedSkipAttrs(m) {
+		out = append(out, SkipProvEntry{Column: a.Column, Via: a.Via, Count: m[a]})
+	}
+	return out
 }
 
 // Stats snapshots the dataset's counters.
@@ -231,15 +294,28 @@ func (d *Dataset) Stats() DatasetStats {
 			})
 		}
 	}
+	var loads int64
+	if sl, ok := d.store.(interface{ SegmentLoads(table string) int64 }); ok {
+		loads = sl.SegmentLoads(d.table.Name)
+	}
+	var pool *PoolStats
+	if ps, ok := d.store.(interface{ PoolStats() (busy, capacity int) }); ok {
+		busy, capacity := ps.PoolStats()
+		pool = &PoolStats{Busy: busy, Capacity: capacity}
+	}
 	return DatasetStats{
 		Shards:          shards,
 		Backend:         d.backend,
 		Rows:            d.table.NumRows(),
 		Queries:         c.Queries,
 		RowsScanned:     c.RowsScanned,
+		SegmentsScanned: c.SegmentsScanned,
 		SegmentsSkipped: c.SegmentsSkipped,
+		SegmentLoads:    loads,
 		Cache:           d.cache.Stats(),
 		Coalesce:        d.bat.stats(),
+		SkipProvenance:  d.skipProvenance(),
+		Pool:            pool,
 		Process: ProcessTotals{
 			Tuples:        d.ctr.procTuples.Load(),
 			DistCalls:     d.ctr.procDist.Load(),
@@ -250,6 +326,7 @@ func (d *Dataset) Stats() DatasetStats {
 			Specs:      d.ctr.specs.Load(),
 			Recommends: d.ctr.recommends.Load(),
 			Errors:     d.ctr.errors.Load(),
+			Timeouts:   d.ctr.timeouts.Load(),
 		},
 		History: d.session.HistoryLen(),
 	}
@@ -262,7 +339,23 @@ type Registry struct {
 	mu       sync.RWMutex
 	datasets map[string]*Dataset
 	appendMu sync.Mutex
+
+	// Readiness for /readyz: ready flips true once startup loading completes
+	// (zserved calls SetReady after the last dataset registers), and swaps
+	// counts snapshot-swap windows in flight — an append rebuilding and
+	// swapping a dataset stack briefly reports not-ready so rolling deploys
+	// and probes don't route traffic into the swap.
+	ready atomic.Bool
+	swaps atomic.Int64
 }
+
+// SetReady marks the registry ready (or not) for /readyz. Call with true
+// once startup loading is complete.
+func (r *Registry) SetReady(ready bool) { r.ready.Store(ready) }
+
+// Ready reports whether the registry should pass readiness probes: marked
+// ready and no dataset snapshot swap in flight.
+func (r *Registry) Ready() bool { return r.ready.Load() && r.swaps.Load() == 0 }
 
 // ErrNotAppendable marks an append against a dataset without a zpack
 // backing; the HTTP layer maps it to 409 Conflict.
@@ -380,7 +473,11 @@ func newDataset(t *dataset.Table, store engine.DB, backend string, cfg Config) (
 		entries = DefaultCacheEntries
 	}
 	cache := NewResultCache(entries)
-	bat := newBatcher(store, cfg.Workers)
+	maxQueue := cfg.MaxQueue
+	if maxQueue == 0 {
+		maxQueue = DefaultMaxQueue
+	}
+	bat := newBatcher(store, cfg.Workers, maxQueue)
 	db := &cachingDB{inner: &coalescingDB{store: store, bat: bat}, cache: cache}
 
 	sessOpts := []client.Option{
@@ -480,6 +577,10 @@ func (r *Registry) Append(name string, rows []dataset.Row) (*Dataset, error) {
 		d.recoverWriter(w)
 		return nil, err
 	}
+	// Readiness gate: from here to the registry swap the dataset's serving
+	// stack is being replaced; /readyz reports 503 for the window.
+	r.swaps.Add(1)
+	defer r.swaps.Add(-1)
 	fresh, err := d.packR.Reopen()
 	if err != nil {
 		// The flush committed; the writer is consistent. The caller sees an

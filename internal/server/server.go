@@ -1,11 +1,14 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/frontend"
@@ -29,34 +32,105 @@ const maxAppendBodyBytes = 16 << 20
 //	POST /datasets/{name}/append  extend a zpack-backed dataset with rows
 //	GET  /datasets                registered datasets with schemas
 //	GET  /stats                   engine / cache / coalescing / HTTP counters
-//	GET  /healthz                 liveness probe
+//	GET  /metrics                 Prometheus text exposition of the same counters
+//	GET  /healthz                 liveness probe (process is up)
+//	GET  /readyz                  readiness probe (datasets loaded, no swap in flight)
+//
+// Every response carries an X-Request-ID (inbound IDs are honored). Query
+// execution runs under the request's context: the server default deadline
+// (WithTimeout) or a per-request X-Timeout header bounds it, and a request
+// that exceeds its deadline gets 504 with the partial execution statistics.
 type Server struct {
-	reg *Registry
-	mux *http.ServeMux
+	reg     *Registry
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in request instrumentation
+	metrics *metrics
+	access  *accessLogger
+	timeout time.Duration
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithTimeout sets the default per-request execution deadline; 0 (the
+// default) means no deadline. A request's X-Timeout header overrides it.
+func WithTimeout(d time.Duration) Option {
+	return func(s *Server) { s.timeout = d }
+}
+
+// WithAccessLog enables one structured JSON access-log line per request,
+// written to w (typically os.Stderr or a rotated file).
+func WithAccessLog(w io.Writer) Option {
+	return func(s *Server) { s.access = newAccessLogger(w) }
 }
 
 // New builds a server over the registry.
-func New(reg *Registry) *Server {
+func New(reg *Registry, opts ...Option) *Server {
 	s := &Server{reg: reg, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
+	s.metrics = newMetrics(reg)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /spec", s.handleSpec)
 	s.mux.HandleFunc("POST /recommend", s.handleRecommend)
 	s.mux.HandleFunc("POST /datasets/{name}/append", s.handleAppend)
 	s.mux.HandleFunc("GET /datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.Handle("GET /metrics", s.metrics.obsv)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.handler = s.instrument(s.mux)
 	return s
 }
 
-// ServeHTTP dispatches to the endpoint handlers.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP dispatches through the instrumentation middleware to the
+// endpoint handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
-// errorJSON is the uniform error envelope.
+// handleReady is the readiness probe: 200 once startup loading completed and
+// no dataset snapshot swap is in flight, else 503. Load balancers and CI wait
+// loops should gate on this, not /healthz (which only proves the process is
+// up and never goes unready).
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.reg.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// StatusClientClosedRequest is the non-standard (nginx-convention) status
+// logged when the client went away before its query finished.
+const StatusClientClosedRequest = 499
+
+// statusFromError maps well-known execution errors onto their HTTP statuses,
+// falling back to the handler's default. Every handler writes errors through
+// writeError, so the mapping is uniform across endpoints.
+func statusFromError(err error, fallback int) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	}
+	return fallback
+}
+
+// errorJSON is the uniform error envelope. PartialStats is present on
+// deadline (504) and disconnect (499) responses: the execution statistics
+// accumulated before the context cut the run short, so a caller can see how
+// much work its budget bought.
 type errorJSON struct {
-	Error string `json:"error"`
+	Error        string        `json:"error"`
+	PartialStats *RunStatsJSON `json:"partialStats,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -67,8 +141,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError writes the uniform error envelope, remapping overload and
+// context errors onto their statuses (429 with Retry-After, 504, 499) and
+// attaching partial execution stats when the engine reported them.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorJSON{Error: err.Error()})
+	status = statusFromError(err, status)
+	body := errorJSON{Error: err.Error()}
+	var pe *zexec.PartialError
+	if errors.As(err, &pe) {
+		stats := EncodeStats(pe.Stats)
+		body.PartialStats = &stats
+	}
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, body)
 }
 
 // decodeBody decodes a bounded JSON request body, rejecting unknown fields so
@@ -132,7 +219,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	d.ctr.queries.Add(1)
-	s.execute(w, d, req.ZQL, req.Inputs, req.Opt, "")
+	s.execute(w, r, d, "/query", req.ZQL, req.Inputs, req.Opt, "")
 }
 
 // SpecJSON is the wire form of the drag-and-drop interface state
@@ -204,22 +291,56 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.execute(w, d, zqlText, inputs, req.Opt, zqlText)
+	s.execute(w, r, d, "/spec", zqlText, inputs, req.Opt, zqlText)
 }
 
-// execute runs ZQL text through the dataset's session and writes the
-// response; echoZQL, when non-empty, is included so /spec callers can see the
-// translation.
-func (s *Server) execute(w http.ResponseWriter, d *Dataset, zqlText string, inputs map[string][]float64, optName, echoZQL string) {
+// requestContext derives the execution context for one request: the client's
+// connection context, bounded by the per-request X-Timeout header when
+// present (a positive Go duration like "250ms") or the server default
+// deadline otherwise.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	timeout := s.timeout
+	if h := r.Header.Get("X-Timeout"); h != "" {
+		d, err := time.ParseDuration(h)
+		if err != nil || d <= 0 {
+			return nil, nil, fmt.Errorf("bad X-Timeout %q: want a positive Go duration like \"250ms\"", h)
+		}
+		timeout = d
+	}
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		return ctx, cancel, nil
+	}
+	return r.Context(), func() {}, nil
+}
+
+// execute runs ZQL text through the dataset's session under the request's
+// deadline and writes the response; echoZQL, when non-empty, is included so
+// /spec callers can see the translation. A deadline or client disconnect cuts
+// the run at the engine's next cancellation point; the 504/499 response then
+// carries the partial execution statistics.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, d *Dataset, endpoint, zqlText string, inputs map[string][]float64, optName, echoZQL string) {
 	opt, err := optLevel(d, optName)
 	if err != nil {
 		d.ctr.errors.Add(1)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := d.session.QueryAt(zqlText, inputs, opt)
+	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
 		d.ctr.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	start := time.Now()
+	res, err := d.session.QueryContext(ctx, zqlText, inputs, opt)
+	s.metrics.observeQuery(endpoint, opt.String(), time.Since(start).Seconds())
+	if err != nil {
+		d.ctr.errors.Add(1)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			d.ctr.timeouts.Add(1)
+		}
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}

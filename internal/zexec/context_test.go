@@ -1,0 +1,84 @@
+package zexec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/zql"
+)
+
+// TestRunContextCanceledReturnsPartialError pins the cancellation contract:
+// a run cut short by its context fails with an error that (a) satisfies
+// errors.Is against the context cause, so the serving layer can map it to
+// 504/499, and (b) unwraps to a *PartialError carrying the statistics of the
+// work done before the cut.
+func TestRunContextCanceledReturnsPartialError(t *testing.T) {
+	q, err := zql.Parse(zql.Corpus["2.1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the first cancellation point must observe it
+	res, err := RunContext(ctx, q, salesDB(), salesOpts())
+	if res != nil {
+		t.Fatalf("canceled run returned a result: %+v", res)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want errors.Is(context.Canceled)", err)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError in the chain", err)
+	}
+	// The variable-resolution phase may legitimately scan rows before the
+	// first cancellation point; the partial stats must reflect whatever ran.
+	if pe.Stats.RowsScanned < 0 {
+		t.Errorf("partial stats report negative rows scanned: %d", pe.Stats.RowsScanned)
+	}
+}
+
+// TestRunContextNilAndBackgroundUnchanged pins that Run (no context) and an
+// explicit Background context behave identically: the context plumbing must
+// cost nothing on the happy path.
+func TestRunContextNilAndBackgroundUnchanged(t *testing.T) {
+	q, err := zql.Parse(zql.Corpus["2.1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(q, salesDB(), salesOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := RunContext(context.Background(), q, salesDB(), salesOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Outputs) != len(ctxed.Outputs) {
+		t.Fatalf("outputs differ: %d vs %d", len(plain.Outputs), len(ctxed.Outputs))
+	}
+	for i := range plain.Outputs {
+		if got, want := len(ctxed.Outputs[i].Vis), len(plain.Outputs[i].Vis); got != want {
+			t.Errorf("output %d: %d visualizations, want %d", i, got, want)
+		}
+	}
+}
+
+// TestRunContextDeadlineCutsMidRun exercises a deadline that expires while
+// the query is executing (not before): the run must stop at a cancellation
+// point and report a partial error rather than running to completion.
+func TestRunContextDeadlineCutsMidRun(t *testing.T) {
+	q, err := zql.Parse(zql.Corpus["2.1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An already-expired deadline exercises the same code path as one
+	// expiring mid-run without making the test timing-sensitive.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err = RunContext(ctx, q, salesDB(), salesOpts())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want errors.Is(context.DeadlineExceeded)", err)
+	}
+}

@@ -356,7 +356,7 @@ func (ex *executor) executeBatch(jobs []*queryJob) error {
 		plans[i] = p
 	}
 	start := time.Now()
-	results, err := ex.db.ExecuteBatch(plans)
+	results, err := ex.db.ExecuteBatch(ex.ctx, plans)
 	ex.stats.QueryTime += time.Since(start)
 	if err != nil {
 		return fmt.Errorf("zexec: %w", err)

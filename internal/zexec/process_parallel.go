@@ -90,6 +90,12 @@ func (ex *executor) forEachTuple(n int, fn func(i int) error) error {
 	workers := ex.processWorkers(n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			// Cancellation point: a cancelled run stops between tuples.
+			if ex.ctx != nil {
+				if err := ex.ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -128,6 +134,15 @@ func (ex *executor) forEachTuple(n int, fn func(i int) error) error {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
 					return
+				}
+				// Cancellation point: a drawn index must still be accounted
+				// for, so a cancelled worker records ctx.Err() at its index
+				// (the lowest-index rule keeps the reported error stable).
+				if ex.ctx != nil {
+					if err := ex.ctx.Err(); err != nil {
+						record(i, err)
+						return
+					}
 				}
 				if err := runContained(fn, i); err != nil {
 					record(i, err)

@@ -1,6 +1,7 @@
 package zexec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -28,6 +29,7 @@ type executor struct {
 	q    *zql.Query
 	db   engine.DB
 	opts Options
+	ctx  context.Context // bounds the run; never nil (RunContext defaults it)
 
 	table    *dataset.Table
 	rows     []*rowState

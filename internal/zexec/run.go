@@ -29,13 +29,22 @@ func (ex *executor) run() (*Result, error) {
 	default:
 		err = ex.runInterTask()
 	}
+	fillStats := func() {
+		countersAfter := ex.db.Counters()
+		ex.stats.RowsScanned = countersAfter.RowsScanned - countersBefore.RowsScanned
+		ex.stats.SegmentsSkipped = countersAfter.SegmentsSkipped - countersBefore.SegmentsSkipped
+		ex.stats.Process = ex.proc.snapshot()
+	}
 	if err != nil {
+		// A run cut short by its context still reports the work it did:
+		// the serving layer surfaces these partial stats with the 504.
+		if ex.ctx != nil && ex.ctx.Err() != nil {
+			fillStats()
+			return nil, &PartialError{Err: err, Stats: ex.stats}
+		}
 		return nil, err
 	}
-	countersAfter := ex.db.Counters()
-	ex.stats.RowsScanned = countersAfter.RowsScanned - countersBefore.RowsScanned
-	ex.stats.SegmentsSkipped = countersAfter.SegmentsSkipped - countersBefore.SegmentsSkipped
-	ex.stats.Process = ex.proc.snapshot()
+	fillStats()
 	return ex.assemble(), nil
 }
 
