@@ -64,16 +64,17 @@ type config struct {
 }
 
 // WithBackend selects the storage back-end by name: "row" (the default
-// full-scan executor), "bitmap" (roaring-bitmap indexes), or "column" (the
-// segmented vectorized executor with zone-map skipping).
+// full-scan executor), "bitmap" (roaring-bitmap indexes), "column" (the
+// segmented vectorized executor with zone-map skipping), or "auto" (routes
+// each prepared query to a row or column sub-store by shape).
 func WithBackend(name string) Option {
 	return func(c *config) error {
 		switch name {
-		case "", "row", "bitmap", "column":
+		case "", "row", "bitmap", "column", "auto":
 			c.backend = name
 			return nil
 		}
-		return fmt.Errorf("client: unknown backend %q (want row, bitmap, or column)", name)
+		return fmt.Errorf("client: unknown backend %q (want row, bitmap, column, or auto)", name)
 	}
 }
 
@@ -162,6 +163,8 @@ func Open(t *dataset.Table, opts ...Option) (*Session, error) {
 		db = engine.NewBitmapStore(t)
 	case "column":
 		db = engine.NewColumnStore(t)
+	case "auto":
+		db = engine.NewAutoStore(1, t)
 	default:
 		db = engine.NewRowStore(t)
 	}

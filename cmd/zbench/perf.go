@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/minisql"
 	"repro/internal/workload"
@@ -30,6 +31,7 @@ type perfReport struct {
 	Workload    perfWorkload  `json:"workload"`
 	Batch       []perfBatch   `json:"batch"`
 	Process     []perfProcess `json:"process"`
+	Planner     []perfPlanner `json:"planner,omitempty"`
 }
 
 // perfWorkload pins the dataset and batch shape the numbers were taken on.
@@ -53,6 +55,22 @@ type perfBatch struct {
 	BatchNsMedian   int64  `json:"batchNsMedian"`
 	RowsScanned     int64  `json:"rowsScannedPerBatch"`
 	SegmentsSkipped int64  `json:"segmentsSkippedPerBatch"`
+}
+
+// perfPlanner is one backend × planning-toggle cell of the mixed-workload
+// sweep: the same prepared query mix — mis-ordered conjunctions (an expensive
+// LIKE over a float column written first, the selective clustered equality
+// last), single categorical equalities, and no-WHERE scan aggregates —
+// executed sequentially, as a latency-shaped A/B of the conjunct planner.
+// Results are byte-identical across every cell; only the time moves.
+type perfPlanner struct {
+	Backend          string           `json:"backend"`
+	Planning         bool             `json:"planning"`
+	Iters            int              `json:"iters"`
+	WorkloadNsBest   int64            `json:"workloadNsBest"`
+	WorkloadNsMedian int64            `json:"workloadNsMedian"`
+	PlansReordered   int64            `json:"plansReordered"`
+	Routes           map[string]int64 `json:"routes,omitempty"`
 }
 
 // perfProcess is one end-to-end ZQL run (fetch + process phase) over the same
@@ -113,6 +131,96 @@ func timeBatch(db engine.DB, plans []*engine.Plan, iters int) (perfBatch, error)
 	}, nil
 }
 
+// plannerWorkloadSQL renders the mixed workload over the sweep table: four
+// mis-ordered conjunctions (the planner's win case), two selective
+// equalities, and two full-scan aggregates (shapes the planner must not
+// slow down).
+func plannerWorkloadSQL(zvals []string) []string {
+	sqls := make([]string, 0, 8)
+	for i := 0; i < 4; i++ {
+		sqls = append(sqls, fmt.Sprintf(
+			"SELECT x, SUM(y) AS s FROM sweep WHERE y LIKE '%%%d%%' AND z = '%s' AND x < 5 GROUP BY x ORDER BY x",
+			i+1, zvals[(i*7)%len(zvals)]))
+	}
+	for i := 0; i < 2; i++ {
+		sqls = append(sqls, fmt.Sprintf(
+			"SELECT x, SUM(y) AS s FROM sweep WHERE z = '%s' GROUP BY x ORDER BY x", zvals[(i*11+3)%len(zvals)]))
+	}
+	sqls = append(sqls,
+		"SELECT x, COUNT(*) AS c FROM sweep GROUP BY x ORDER BY x",
+		"SELECT x, AVG(y) AS a FROM sweep GROUP BY x ORDER BY x")
+	return sqls
+}
+
+// runPlannerSweep times the mixed workload on each backend with the conjunct
+// planner on and off (plus the auto router, which exists only with planning),
+// appending one perfPlanner row per cell.
+func runPlannerSweep(rep *perfReport, tb *dataset.Table, zvals []string) error {
+	const iters = 9
+	sqls := plannerWorkloadSQL(zvals)
+	cells := []struct {
+		backend  string
+		planning bool
+		db       engine.DB
+	}{
+		{"row", false, engine.NewRowStore(tb)},
+		{"row", true, engine.NewRowStore(tb)},
+		{"column", false, engine.NewColumnStore(tb)},
+		{"column", true, engine.NewColumnStore(tb)},
+		{"auto", true, engine.NewAutoStore(1, tb)},
+	}
+	for _, c := range cells {
+		c.db.(engine.Planner).SetPlanning(c.planning)
+		plans := make([]*engine.Plan, len(sqls))
+		for i, sql := range sqls {
+			q, err := minisql.Parse(sql)
+			if err != nil {
+				return err
+			}
+			p, err := c.db.Prepare(q)
+			if err != nil {
+				return err
+			}
+			plans[i] = p
+		}
+		// Sequential Execute, not ExecuteBatch: the sweep measures per-query
+		// predicate evaluation order, not shared-scan amortization.
+		run := func() error {
+			for _, p := range plans {
+				if _, err := p.Execute(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := run(); err != nil { // warmup
+			return err
+		}
+		times := make([]time.Duration, iters)
+		for i := range times {
+			start := time.Now()
+			if err := run(); err != nil {
+				return err
+			}
+			times[i] = time.Since(start)
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		row := perfPlanner{
+			Backend:          c.backend,
+			Planning:         c.planning,
+			Iters:            iters,
+			WorkloadNsBest:   times[0].Nanoseconds(),
+			WorkloadNsMedian: times[iters/2].Nanoseconds(),
+			PlansReordered:   c.db.Counters().PlansReordered,
+		}
+		if rc, ok := c.db.(engine.RouteCounted); ok {
+			row.Routes = rc.RouteCounts()
+		}
+		rep.Planner = append(rep.Planner, row)
+	}
+	return nil
+}
+
 // perfProcessZQL is the process-phase probe: a top-k trend search over every
 // z slice, so both the shared scan (fetch) and the task processor (process)
 // do real work.
@@ -168,6 +276,12 @@ func runPerfJSON(path string) error {
 		pb.Backend = c.backend
 		pb.Shards = c.shards
 		rep.Batch = append(rep.Batch, pb)
+	}
+
+	// Planner mixed workload: the query mix a real session produces when the
+	// user (or a query generator) writes conjuncts in an unlucky order.
+	if err := runPlannerSweep(&rep, tb, zvals); err != nil {
+		return err
 	}
 
 	// Process phase: the same ZQL run unsharded and sharded; processNs is the

@@ -41,7 +41,7 @@ func main() {
 		tableName = flag.String("table", "data", "table name for -data")
 		demo      = flag.String("demo", "", "built-in demo dataset: sales, airline, census, housing")
 		queryPath = flag.String("query", "", "ZQL query file ('-' for stdin)")
-		backend   = flag.String("backend", "row", "storage back-end: row, bitmap, or column")
+		backend   = flag.String("backend", "row", "storage back-end: row, bitmap, column, or auto (routes each query by shape)")
 		optLevel  = flag.String("opt", "intertask", "optimization level: noopt, intraline, intratask, intertask (or o0..o3)")
 		metric    = flag.String("metric", "euclidean", "distance metric D: euclidean, dtw, kl, emd (raw- prefix skips normalization)")
 		recFlag   = flag.String("recommend", "", "recommendation request x:y:z instead of a query")
@@ -71,8 +71,10 @@ func main() {
 		db = engine.NewBitmapStore(tbl)
 	case "column":
 		db = engine.NewColumnStore(tbl)
+	case "auto":
+		db = engine.NewAutoStore(1, tbl)
 	default:
-		log.Fatalf("unknown -backend %q (want row, bitmap, or column)", *backend)
+		log.Fatalf("unknown -backend %q (want row, bitmap, column, or auto)", *backend)
 	}
 	m, err := vis.MetricByName(*metric)
 	if err != nil {

@@ -52,7 +52,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8421", "listen address")
 		demos     = flag.String("demo", "", "comma-separated built-in demo datasets: sales, airline, census, housing")
-		backend   = flag.String("backend", "row", "storage back-end for every dataset: row, bitmap, or column")
+		backend   = flag.String("backend", "row", "storage back-end for every dataset: row, bitmap, column, or auto (routes each query by shape)")
 		cache     = flag.Int("cache", server.DefaultCacheEntries, "result cache entries per dataset (negative disables)")
 		workers   = flag.Int("workers", 1, "coalescing workers per dataset (1 maximizes shared scans)")
 		pworkers  = flag.Int("process-workers", 0, "process-phase worker goroutines per query (0 = auto)")
@@ -65,6 +65,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "default per-request execution deadline (0 = none; X-Timeout header overrides per request)")
 		maxQueue  = flag.Int("max-queue", server.DefaultMaxQueue, "admission queue bound per dataset before 429 shedding (negative = unbounded)")
 		accessLog = flag.Bool("access-log", false, "write one JSON access-log line per request to stderr")
+		noPlanner = flag.Bool("no-planner", false, "pin WHERE conjuncts to written order instead of the planner's cheapest-first reorder (A/B baseline; results identical)")
 	)
 	flag.Func("data", "dataset to serve: name=path.csv, name=path.zpack, or a directory of *.zpack files (repeatable)", func(v string) error {
 		dataSpecs = append(dataSpecs, v)
@@ -93,6 +94,7 @@ func main() {
 		MaxQueue:           *maxQueue,
 		ProcessParallelism: *pworkers,
 		Shards:             *shards,
+		NoPlanner:          *noPlanner,
 	}
 
 	reg := server.NewRegistry()

@@ -24,6 +24,7 @@ import (
 // named in the paper's future work (Section 10.1).
 type BitmapStore struct {
 	parLimit
+	planToggle
 	tables     map[string]*dataset.Table
 	indexes    map[string]tableIndex
 	intIndexes map[string]map[string]*intIndex
@@ -212,7 +213,13 @@ func (s *BitmapStore) planBitmap(t *dataset.Table, ix tableIndex, e minisql.Expr
 		if ii, ok := s.intIndexes[t.Name][x.Col]; ok {
 			res := roaring.New()
 			for _, v := range x.Vals {
-				if b, present := ii.bms[v.Int()]; present {
+				// Fractional values can never equal an integer cell; probing
+				// the index with a truncated key would match the wrong rows.
+				f := v.Float()
+				if f != math.Trunc(f) {
+					continue
+				}
+				if b, present := ii.bms[int64(f)]; present {
 					res = res.Or(b)
 				}
 			}
@@ -262,9 +269,36 @@ func planIntCompare(ii *intIndex, x *minisql.Compare, total int) *roaring.Bitmap
 	return nil
 }
 
+// plannerStats builds the scoring snapshot from the store's own metadata:
+// categorical dictionary cardinalities plus the integer value indexes, whose
+// sorted keys give both cardinality and the column's global envelope.
+func (s *BitmapStore) plannerStats(t *dataset.Table) *plannerStats {
+	ps := newPlannerStats(t)
+	for col, ii := range s.intIndexes[t.Name] {
+		if len(ii.keys) == 0 {
+			continue
+		}
+		ps.card[col] = len(ii.keys)
+		ps.numeric[col] = numStat{lo: float64(ii.keys[0]), hi: float64(ii.keys[len(ii.keys)-1])}
+	}
+	return ps
+}
+
 // Prepare validates and column-resolves a parsed query into a reusable plan.
+// With planning on, the conjuncts planAccess walks (index probes first, then
+// the residual) run in the greedy planner's order.
 func (s *BitmapStore) Prepare(q *minisql.Query) (*Plan, error) {
-	return newPlan(s, s.tables[q.From], q)
+	p, err := newPlan(s, s.tables[q.From], q)
+	if err != nil {
+		return nil, err
+	}
+	if s.planningOn() && len(p.conjs) > 1 {
+		if err := p.applyPlanOrder(s.plannerStats(p.t)); err != nil {
+			return nil, err
+		}
+		s.stats.notePlanned(p.reordered)
+	}
+	return p, nil
 }
 
 // Execute runs a parsed query. Fully indexable predicates iterate only the
@@ -334,13 +368,11 @@ func (s *BitmapStore) planAccess(p *Plan, cache bitmapCache) (rowIter, int64, er
 		}, int64(total), nil
 	}
 
-	conjuncts := []minisql.Expr{q.Where}
-	if and, isAnd := q.Where.(*minisql.And); isAnd {
-		conjuncts = and.Args
-	}
+	// p.conjs carries the top-level conjuncts in execution order — the
+	// planner's order when the store reordered them at Prepare time.
 	var parts []*roaring.Bitmap
 	var residual []minisql.Expr
-	for _, c := range conjuncts {
+	for _, c := range p.conjs {
 		if b, ok := s.cachedBitmap(cache, t, ix, c, total); ok {
 			parts = append(parts, b)
 		} else {

@@ -29,6 +29,7 @@ const segmentSize = SegmentSize
 // scan worker and intersected per plan.
 type ColumnStore struct {
 	parLimit
+	planToggle
 	tables map[string]*dataset.Table
 	cols   map[string]*colTable
 	stats  counters
@@ -168,7 +169,8 @@ type vecPlan struct {
 type vecConjunct struct {
 	key  string // canonical SQL of the conjunct, the sharing key
 	f    vecFilter
-	attr SkipAttr // which column/metadata a skip by this conjunct credits
+	attr SkipAttr     // which column/metadata a skip by this conjunct credits
+	pred rowPredicate // row-at-a-time form, for masked evaluation
 }
 
 // skipCause reports whether the zone maps prove segment seg holds no row
@@ -183,27 +185,65 @@ func (v *vecPlan) skipCause(seg int) (SkipAttr, bool) {
 	return SkipAttr{}, false
 }
 
+// plannerStats builds the scoring snapshot from the table's build-time
+// metadata — zone maps folded to global envelopes, integer dictionaries —
+// plus the store's live skip provenance as the tie-breaking signal.
+func (s *ColumnStore) plannerStats(ct *colTable) *plannerStats {
+	ps := newPlannerStats(ct.t)
+	ps.addZones(ct.zones, ct.intCodes)
+	return ps.withProv(s.prov.snapshot())
+}
+
 // Prepare validates and column-resolves a parsed query, then attaches the
-// vectorized compilation (the column store's Plan hook).
+// vectorized compilation (the column store's Plan hook). With planning on,
+// the conjuncts compile in the greedy planner's order, so the per-segment
+// skip test and the selection-bitmap intersection both run cheapest/most-
+// selective-first.
 func (s *ColumnStore) Prepare(q *minisql.Query) (*Plan, error) {
 	p, err := newPlan(s, s.tables[q.From], q)
 	if err != nil {
 		return nil, err
 	}
 	ct := s.cols[q.From]
+	if s.planningOn() && len(p.conjs) > 1 {
+		if err := p.applyPlanOrder(s.plannerStats(ct)); err != nil {
+			return nil, err
+		}
+		s.stats.notePlanned(p.reordered)
+	}
+	return s.compileVecPlan(p, ct)
+}
+
+// prepareOrdered builds a plan that adopts an externally decided conjunct
+// order instead of planning locally — the sharded store plans once over the
+// global metadata and hands every shard the same order.
+func (s *ColumnStore) prepareOrdered(q *minisql.Query, conjs []minisql.Expr, reordered bool) (*Plan, error) {
+	p, err := newPlan(s, s.tables[q.From], q)
+	if err != nil {
+		return nil, err
+	}
+	if reordered {
+		p.conjs, p.reordered = conjs, true
+	}
+	return s.compileVecPlan(p, s.cols[q.From])
+}
+
+// compileVecPlan lowers the plan's conjuncts — already in execution order —
+// to vectorized filters. Each conjunct also keeps its row-at-a-time
+// predicate so the scan can evaluate later conjuncts only on the rows still
+// selected (masked evaluation) when the survivor set is already sparse.
+func (s *ColumnStore) compileVecPlan(p *Plan, ct *colTable) (*Plan, error) {
 	vp := &vecPlan{ct: ct}
-	if q.Where != nil {
-		conjuncts := []minisql.Expr{q.Where}
-		if and, isAnd := q.Where.(*minisql.And); isAnd {
-			conjuncts = and.Args
+	for _, c := range p.conjs {
+		f, err := compileVec(ct, p.t, c)
+		if err != nil {
+			return nil, err
 		}
-		for _, c := range conjuncts {
-			f, err := compileVec(ct, p.t, c)
-			if err != nil {
-				return nil, err
-			}
-			vp.conjs = append(vp.conjs, vecConjunct{key: c.SQL(), f: f, attr: conjAttr(c, f)})
+		pred, err := compilePredicate(p.t, c)
+		if err != nil {
+			return nil, err
 		}
+		vp.conjs = append(vp.conjs, vecConjunct{key: c.SQL(), f: f, attr: conjAttr(c, f), pred: pred})
 	}
 	p.vec = vp
 	return p, nil
@@ -360,6 +400,7 @@ func (s *ColumnStore) scanInto(ctx context.Context, ct *colTable, plans []*Plan,
 	// slots so a shared conjunct is evaluated once per segment.
 	slotOf := make(map[string]int)
 	var filters []vecFilter
+	var slotPreds []rowPredicate
 	planSlots := make(map[int][]int, len(slotKs))
 	for _, k := range slotKs {
 		vp := plans[shard[k]].vec
@@ -369,6 +410,7 @@ func (s *ColumnStore) scanInto(ctx context.Context, ct *colTable, plans []*Plan,
 				slot = len(filters)
 				slotOf[c.key] = slot
 				filters = append(filters, c.f)
+				slotPreds = append(slotPreds, c.pred)
 			}
 			planSlots[k] = append(planSlots[k], slot)
 		}
@@ -463,6 +505,19 @@ func (s *ColumnStore) scanInto(ctx context.Context, ct *colTable, plans []*Plan,
 			}
 			copy(acc, evalSlot(filters, slotBits, slotDone, slots[0], lo, hi))
 			for _, slot := range slots[1:] {
+				live := popCount(acc, hi-lo)
+				if live == 0 {
+					break // intersection already empty; later conjuncts can't revive it
+				}
+				// Masked evaluation: when the survivor set is sparse and the
+				// conjunct's bitmap hasn't been shared yet, testing only the
+				// surviving rows with the row predicate beats a full
+				// vectorized pass over the segment. Result-identical — the
+				// differential fuzzer pins the predicate/filter equivalence.
+				if !slotDone[slot] && live <= (hi-lo)/maskedEvalDiv {
+					filterBits(acc, lo, hi, slotPreds[slot])
+					continue
+				}
 				bits := evalSlot(filters, slotBits, slotDone, slot, lo, hi)
 				for w := range acc {
 					acc[w] &= bits[w]
@@ -487,6 +542,38 @@ func evalSlot(filters []vecFilter, slotBits [][]uint64, slotDone []bool, slot, l
 		slotDone[slot] = true
 	}
 	return slotBits[slot]
+}
+
+// maskedEvalDiv sets the masked-evaluation threshold: a later conjunct is
+// tested row-at-a-time on the surviving rows (instead of a full vectorized
+// pass) when survivors are at most 1/maskedEvalDiv of the segment.
+const maskedEvalDiv = 16
+
+// popCount returns the number of selected rows in the first n bits.
+func popCount(sel []uint64, n int) int {
+	words := (n + 63) / 64
+	total := 0
+	for w := 0; w < words; w++ {
+		total += bits.OnesCount64(sel[w])
+	}
+	return total
+}
+
+// filterBits clears every selected bit whose row fails pred — the masked
+// (row-at-a-time) evaluation of one conjunct over a sparse survivor set.
+func filterBits(sel []uint64, lo, hi int, pred rowPredicate) {
+	words := (hi - lo + 63) / 64
+	for w := 0; w < words; w++ {
+		word := sel[w]
+		base := lo + w<<6
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			if !pred(base + b) {
+				sel[w] &^= 1 << uint(b)
+			}
+			word &= word - 1
+		}
+	}
 }
 
 // drainBits feeds the selected rows of a segment into the sink in ascending

@@ -36,7 +36,7 @@ func salesTable() *dataset.Table {
 }
 
 func allStores(t *dataset.Table) []DB {
-	return []DB{NewRowStore(t), NewBitmapStore(t), NewColumnStore(t), NewShardedStore(3, t)}
+	return []DB{NewRowStore(t), NewBitmapStore(t), NewColumnStore(t), NewShardedStore(3, t), NewAutoStore(1, t), NewAutoStore(3, t)}
 }
 
 func TestSimpleAggregation(t *testing.T) {

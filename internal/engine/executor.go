@@ -96,11 +96,16 @@ func (p *parLimit) parallelism() int {
 // the zone maps proved empty, each saving a segment's worth of scanning.
 // SegmentsScanned is its complement: the number of (worker, segment) pairs a
 // scan actually materialized and visited.
+// PlansPlanned counts Prepares where the greedy conjunct planner ran (two or
+// more top-level conjuncts with planning enabled); PlansReordered counts the
+// subset whose execution order actually changed away from written order.
 type Counters struct {
 	Queries         int64
 	RowsScanned     int64
 	SegmentsScanned int64
 	SegmentsSkipped int64
+	PlansPlanned    int64
+	PlansReordered  int64
 }
 
 type counters struct {
@@ -108,6 +113,8 @@ type counters struct {
 	rowsScanned     atomic.Int64
 	segmentsScanned atomic.Int64
 	segmentsSkipped atomic.Int64
+	plansPlanned    atomic.Int64
+	plansReordered  atomic.Int64
 }
 
 func (c *counters) snapshot() Counters {
@@ -116,6 +123,16 @@ func (c *counters) snapshot() Counters {
 		RowsScanned:     c.rowsScanned.Load(),
 		SegmentsScanned: c.segmentsScanned.Load(),
 		SegmentsSkipped: c.segmentsSkipped.Load(),
+		PlansPlanned:    c.plansPlanned.Load(),
+		PlansReordered:  c.plansReordered.Load(),
+	}
+}
+
+// notePlanned records one planner run and whether it changed the order.
+func (c *counters) notePlanned(reordered bool) {
+	c.plansPlanned.Add(1)
+	if reordered {
+		c.plansReordered.Add(1)
 	}
 }
 
@@ -146,10 +163,15 @@ func (a *aggState) add(v float64) {
 	if a.count == 0 {
 		a.min, a.max = v, v
 	} else {
-		if v < a.min {
+		// NaN is the identity for MIN/MAX: a NaN cell never displaces a real
+		// bound AND a real value always displaces a NaN seed. Both directions
+		// are needed to keep the fold associative — otherwise a shard whose
+		// first matching cell is NaN would swallow its later real values,
+		// diverging from the sequential fold.
+		if v < a.min || (math.IsNaN(a.min) && !math.IsNaN(v)) {
 			a.min = v
 		}
-		if v > a.max {
+		if v > a.max || (math.IsNaN(a.max) && !math.IsNaN(v)) {
 			a.max = v
 		}
 	}
@@ -159,11 +181,11 @@ func (a *aggState) add(v float64) {
 
 // merge folds a later partial accumulation into a: a's rows all precede o's
 // (shards cover ascending row ranges), so the fold mirrors add's semantics —
-// an empty side is the identity, min/max comparisons match add's (a NaN
-// bound never displaces an existing one), and sums add. Summation order
+// an empty side is the identity, min/max comparisons match add's (NaN is the
+// MIN/MAX identity in both directions), and sums add. Summation order
 // differs from the sequential fold only at shard boundaries, so SUM/AVG are
 // bit-identical whenever the column's values accumulate exactly (integers,
-// halves — true of every fixture this repo ships); COUNT/MIN/MAX always are.
+// quarters — true of every fixture this repo ships); COUNT/MIN/MAX always are.
 func (a *aggState) merge(o *aggState) {
 	if o.count == 0 {
 		return
@@ -172,10 +194,10 @@ func (a *aggState) merge(o *aggState) {
 		*a = *o
 		return
 	}
-	if o.min < a.min {
+	if o.min < a.min || (math.IsNaN(a.min) && !math.IsNaN(o.min)) {
 		a.min = o.min
 	}
-	if o.max > a.max {
+	if o.max > a.max || (math.IsNaN(a.max) && !math.IsNaN(o.max)) {
 		a.max = o.max
 	}
 	a.sum += o.sum

@@ -22,15 +22,21 @@ type Plan struct {
 	t   *dataset.Table
 	sql string // canonical rendering of q, fixed at Prepare time
 
-	pred   rowPredicate      // compiled WHERE; always-true when q.Where is nil
-	vec    *vecPlan          // column-store compilation hook; nil elsewhere
-	sub    []*Plan           // sharded-store per-shard plans; nil elsewhere
-	cols   []string          // output column names
-	hasAgg bool              // any aggregate select item
-	selCol []*dataset.Column // per select item; nil for COUNT(*)
-	keyCol []*dataset.Column // per GROUP BY key
-	aggSel []int             // select positions that are aggregates
-	aggCol []*dataset.Column // parallel to aggSel; nil for COUNT(*)
+	pred rowPredicate // compiled WHERE; always-true when q.Where is nil
+	vec  *vecPlan     // column-store compilation hook; nil elsewhere
+	sub  []*Plan      // sharded-store per-shard plans; nil elsewhere
+	// conjs holds the top-level WHERE conjuncts in execution order: written
+	// order as parsed, or the greedy planner's order when the store reordered
+	// them at Prepare time (reordered is then true). The query AST itself is
+	// never reordered — p.sql must not depend on execution strategy.
+	conjs     []minisql.Expr
+	reordered bool
+	cols      []string          // output column names
+	hasAgg    bool              // any aggregate select item
+	selCol    []*dataset.Column // per select item; nil for COUNT(*)
+	keyCol    []*dataset.Column // per GROUP BY key
+	aggSel    []int             // select positions that are aggregates
+	aggCol    []*dataset.Column // parallel to aggSel; nil for COUNT(*)
 	// keyOf maps each select position to its GROUP BY key index, or -1 when
 	// the item is an aggregate or a non-grouped plain column.
 	keyOf []int
@@ -103,8 +109,16 @@ func newPlan(db DB, t *dataset.Table, q *minisql.Query) (*Plan, error) {
 		return nil, err
 	}
 	p.pred = pred
+	p.conjs = splitConjuncts(q.Where)
 	return p, nil
 }
+
+// Reordered reports whether the planner changed the plan's conjunct
+// execution order away from written order.
+func (p *Plan) Reordered() bool { return p.reordered }
+
+// Conjuncts returns the plan's top-level WHERE conjuncts in execution order.
+func (p *Plan) Conjuncts() []minisql.Expr { return p.conjs }
 
 // Table returns the base table the plan reads.
 func (p *Plan) Table() *dataset.Table { return p.t }

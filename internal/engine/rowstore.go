@@ -19,6 +19,7 @@ import (
 // concurrent scan workers.
 type RowStore struct {
 	parLimit
+	planToggle
 	tables map[string]*dataset.Table
 	stats  counters
 }
@@ -42,8 +43,22 @@ func (s *RowStore) Table(name string) *dataset.Table { return s.tables[name] }
 func (s *RowStore) Counters() Counters { return s.stats.snapshot() }
 
 // Prepare validates and column-resolves a parsed query into a reusable plan.
+// With planning on, multi-conjunct predicates are recompiled in the greedy
+// planner's order so the short-circuiting AND closure tests the cheapest,
+// most selective leg first. The row store has no zone maps, so scoring uses
+// dictionary cardinalities and shape defaults only.
 func (s *RowStore) Prepare(q *minisql.Query) (*Plan, error) {
-	return newPlan(s, s.tables[q.From], q)
+	p, err := newPlan(s, s.tables[q.From], q)
+	if err != nil {
+		return nil, err
+	}
+	if s.planningOn() && len(p.conjs) > 1 {
+		if err := p.applyPlanOrder(newPlannerStats(p.t)); err != nil {
+			return nil, err
+		}
+		s.stats.notePlanned(p.reordered)
+	}
+	return p, nil
 }
 
 // Execute runs a parsed query by scanning the base table.

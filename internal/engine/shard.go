@@ -112,9 +112,10 @@ func SplitSourceAt(src SegmentSource, cuts []int) []SegmentSource {
 // merges partial accumulators instead of rows.
 type ShardedStore struct {
 	parLimit
+	planToggle
 	tables map[string]*dataset.Table
 	shards map[string][]*ColumnStore
-	stats  counters     // Queries only; scan counters live in the shard stores
+	stats  counters     // Queries and planner counters; scan counters live in the shard stores
 	busy   atomic.Int64 // scatter workers currently running (pool saturation)
 }
 
@@ -188,8 +189,14 @@ func (s *ShardedStore) NumSegments(table string) int {
 }
 
 // Counters returns cumulative execution statistics, summed across shards.
+// Planner counters live at the sharded store itself: it plans once over the
+// global metadata and every shard adopts the order.
 func (s *ShardedStore) Counters() Counters {
-	c := Counters{Queries: s.stats.queries.Load()}
+	c := Counters{
+		Queries:        s.stats.queries.Load(),
+		PlansPlanned:   s.stats.plansPlanned.Load(),
+		PlansReordered: s.stats.plansReordered.Load(),
+	}
 	for _, stores := range s.shards {
 		for _, st := range stores {
 			sc := st.Counters()
@@ -280,15 +287,30 @@ func (s *ShardedStore) ShardStats(table string) []ShardCounters {
 // table, then prepares one sub-plan per shard (each carrying the shard's
 // vectorized compilation). The sub-plans are what the scatter executes; the
 // returned plan is what callers hold and batch.
+//
+// With planning on, the conjunct order is decided ONCE here — over the
+// table's global zone maps (shards share them) and the provenance merged
+// across shards — and every shard sub-plan adopts it, so the scatter
+// evaluates one consistent order instead of letting per-shard provenance
+// drift the shards apart.
 func (s *ShardedStore) Prepare(q *minisql.Query) (*Plan, error) {
 	p, err := newPlan(s, s.tables[q.From], q)
 	if err != nil {
 		return nil, err
 	}
 	shards := s.shards[q.From]
+	if s.planningOn() && len(p.conjs) > 1 && len(shards) > 0 {
+		ct := shards[0].cols[q.From] // zone/dict arrays are global, any shard's view works
+		ps := newPlannerStats(p.t)
+		ps.addZones(ct.zones, ct.intCodes)
+		if err := p.applyPlanOrder(ps.withProv(s.SkipProvenance())); err != nil {
+			return nil, err
+		}
+		s.stats.notePlanned(p.reordered)
+	}
 	p.sub = make([]*Plan, len(shards))
 	for i, shard := range shards {
-		sp, err := shard.Prepare(q)
+		sp, err := shard.prepareOrdered(q, p.conjs, p.reordered)
 		if err != nil {
 			return nil, err
 		}

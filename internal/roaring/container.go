@@ -443,7 +443,9 @@ func (r *runContainer) and(other container) container {
 		}
 		return (&runContainer{runs: out}).maybeShrink()
 	}
-	return other.and(r)
+	// Thaw before delegating: bitmapContainer.and also delegates run
+	// intersections here, so bouncing back would recurse forever.
+	return r.thaw().and(other)
 }
 
 func (r *runContainer) maybeShrink() container {

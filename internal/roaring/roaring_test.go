@@ -213,6 +213,28 @@ func TestRunContainerIntersection(t *testing.T) {
 	}
 }
 
+func TestRunBitmapIntersection(t *testing.T) {
+	// Regression: a run container intersected with a bitmap container used to
+	// bounce delegation between the two and() methods forever (each deferred
+	// the mixed case to the other). Dense operands keep both sides above the
+	// array threshold so neither collapses before the intersection.
+	run := FromRange(0, 70000)
+	run.RunOptimize()
+	var dense []uint32
+	for v := uint32(0); v < 131072; v += 2 {
+		dense = append(dense, v)
+	}
+	bm := FromSlice(dense)
+	for name, got := range map[string]*Bitmap{"bitmap∩run": bm.And(run), "run∩bitmap": run.And(bm)} {
+		if got.Cardinality() != 35000 {
+			t.Errorf("%s cardinality = %d, want 35000", name, got.Cardinality())
+		}
+		if !got.Contains(0) || !got.Contains(69998) || got.Contains(70000) || got.Contains(1) {
+			t.Errorf("%s membership wrong", name)
+		}
+	}
+}
+
 func TestRunContainerMutationThaws(t *testing.T) {
 	b := FromRange(0, 10000)
 	b.RunOptimize()

@@ -160,6 +160,30 @@ func newMetrics(reg *Registry) *metrics {
 				emit(float64(sh.RowsScanned), obsv.Label{Key: "shard", Value: strconv.Itoa(i)})
 			}
 		})
+	perDataset("zen_plans_planned_total",
+		"Multi-conjunct plans the greedy conjunct planner scored.", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			if s.Planner != nil {
+				emit(float64(s.Planner.PlansPlanned))
+			}
+		})
+	perDataset("zen_plans_reordered_total",
+		"Planned plans whose conjunct evaluation order actually changed.", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			if s.Planner != nil {
+				emit(float64(s.Planner.PlansReordered))
+			}
+		})
+	perDataset("zen_plan_route_total",
+		"Prepared plans per auto-backend routing decision.", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			if s.Planner == nil {
+				return
+			}
+			for _, e := range s.Planner.Routes {
+				emit(float64(e.Count), obsv.Label{Key: "route", Value: e.Route})
+			}
+		})
 	perDataset("zen_process_tuples_total",
 		"Process-phase tuples scored.", "counter",
 		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {

@@ -45,7 +45,9 @@ const DefaultMaxQueue = 256
 
 // Config tunes one registered dataset.
 type Config struct {
-	// Backend selects the store: "row" (default), "bitmap", or "column".
+	// Backend selects the store: "row" (default), "bitmap", "column", or
+	// "auto" (routes each prepared plan to a row or column sub-store by query
+	// shape; docs/ARCHITECTURE.md, "The conjunct planner and auto routing").
 	Backend string
 	// Opt names the default ZQL batching level for requests that do not
 	// carry one: "noopt", "intraline", "intratask", or "intertask"
@@ -69,6 +71,10 @@ type Config struct {
 	// Parallelism bounds the store's scan workers per batch (<= 0 =
 	// GOMAXPROCS). Applied once at registration; never per request.
 	Parallelism int
+	// NoPlanner pins WHERE conjuncts to their written order instead of the
+	// greedy cheapest-first reorder the planner applies at Prepare time.
+	// Results are identical either way; this is the A/B baseline knob.
+	NoPlanner bool
 	// Shards splits a column or zpack dataset into N contiguous segment
 	// shards whose scans scatter across the worker pool and merge at a
 	// gather point, results unchanged (docs/ARCHITECTURE.md, "Sharded
@@ -207,6 +213,10 @@ type DatasetStats struct {
 	// that proved each skipped segment empty — highest count first. Only the
 	// column backend produces attributions.
 	SkipProvenance []SkipProvEntry `json:"skipProvenance,omitempty"`
+	// Planner reports the conjunct planner's activity: plans that went
+	// through scoring, plans whose conjunct order actually changed, and — on
+	// the auto backend only — how prepared plans routed across sub-stores.
+	Planner *PlannerStats `json:"planner,omitempty"`
 	// Pool is present only on sharded datasets: the scatter pool's in-flight
 	// shard scans against its capacity.
 	Pool *PoolStats `json:"pool,omitempty"`
@@ -223,6 +233,23 @@ type SkipProvEntry struct {
 	Column string `json:"column"`
 	Via    string `json:"via"`
 	Count  int64  `json:"count"`
+}
+
+// PlannerStats is the conjunct planner's activity for one dataset.
+type PlannerStats struct {
+	// PlansPlanned counts multi-conjunct plans the greedy scorer examined;
+	// PlansReordered the subset whose evaluation order actually changed.
+	PlansPlanned   int64 `json:"plansPlanned"`
+	PlansReordered int64 `json:"plansReordered"`
+	// Routes is present only on the auto backend: plans routed per decision,
+	// highest count first.
+	Routes []RouteEntry `json:"routes,omitempty"`
+}
+
+// RouteEntry is one auto-backend routing bucket.
+type RouteEntry struct {
+	Route string `json:"route"`
+	Count int64  `json:"count"`
 }
 
 // PoolStats is the sharded scatter pool's instantaneous saturation.
@@ -280,6 +307,19 @@ func (d *Dataset) skipProvenance() []SkipProvEntry {
 	return out
 }
 
+// plannerStats snapshots the planner counters and, for auto-routing stores,
+// the per-route totals in emit order.
+func (d *Dataset) plannerStats(c engine.Counters) *PlannerStats {
+	ps := &PlannerStats{PlansPlanned: c.PlansPlanned, PlansReordered: c.PlansReordered}
+	if rc, ok := d.store.(engine.RouteCounted); ok {
+		m := rc.RouteCounts()
+		for _, route := range engine.SortedRoutes(m) {
+			ps.Routes = append(ps.Routes, RouteEntry{Route: route, Count: m[route]})
+		}
+	}
+	return ps
+}
+
 // Stats snapshots the dataset's counters.
 func (d *Dataset) Stats() DatasetStats {
 	c := d.store.Counters()
@@ -315,6 +355,7 @@ func (d *Dataset) Stats() DatasetStats {
 		Cache:           d.cache.Stats(),
 		Coalesce:        d.bat.stats(),
 		SkipProvenance:  d.skipProvenance(),
+		Planner:         d.plannerStats(c),
 		Pool:            pool,
 		Process: ProcessTotals{
 			Tuples:        d.ctr.procTuples.Load(),
@@ -395,8 +436,10 @@ func (r *Registry) AddTable(t *dataset.Table, cfg Config) (*Dataset, error) {
 		} else {
 			store = engine.NewColumnStore(t)
 		}
+	case "auto":
+		store = engine.NewAutoStore(cfg.Shards, t)
 	default:
-		return nil, fmt.Errorf("server: unknown backend %q (want row, bitmap, or column)", cfg.Backend)
+		return nil, fmt.Errorf("server: unknown backend %q (want row, bitmap, column, or auto)", cfg.Backend)
 	}
 	d, err := newDataset(t, store, backend, cfg)
 	if err != nil {
@@ -457,6 +500,9 @@ func zpackStore(r *zpack.Reader, cfg Config) engine.DB {
 func newDataset(t *dataset.Table, store engine.DB, backend string, cfg Config) (*Dataset, error) {
 	if cfg.Parallelism > 0 {
 		store.(engine.Parallel).SetParallelism(cfg.Parallelism)
+	}
+	if cfg.NoPlanner {
+		store.(engine.Planner).SetPlanning(false)
 	}
 	opt := zexec.InterTask
 	if cfg.Opt != "" {

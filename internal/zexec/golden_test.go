@@ -76,24 +76,30 @@ func goldenCases() []goldenCase {
 
 // goldenVariant is one executor configuration of the differential matrix.
 type goldenVariant struct {
-	name string
-	opts func(o *Options)
+	name   string
+	opts   func(o *Options)
+	noPlan bool // pin written conjunct order: the planner-off baseline
 }
 
 func goldenVariants() []goldenVariant {
 	vars := []goldenVariant{
-		{"noopt", func(o *Options) { o.Opt = NoOpt }},
-		{"intraline", func(o *Options) { o.Opt = IntraLine }},
-		{"intratask", func(o *Options) { o.Opt = IntraTask }},
-		{"intertask", func(o *Options) { o.Opt = InterTask }},
+		{name: "noopt", opts: func(o *Options) { o.Opt = NoOpt }},
+		{name: "intraline", opts: func(o *Options) { o.Opt = IntraLine }},
+		{name: "intratask", opts: func(o *Options) { o.Opt = IntraTask }},
+		{name: "intertask", opts: func(o *Options) { o.Opt = InterTask }},
 		// Force the worker pool on even on one core, and exercise the
 		// pruned/unpruned pair explicitly.
-		{"intertask-par4", func(o *Options) { o.Opt = InterTask; o.ProcessParallelism = 4 }},
-		{"intertask-par4-noprune", func(o *Options) {
+		{name: "intertask-par4", opts: func(o *Options) { o.Opt = InterTask; o.ProcessParallelism = 4 }},
+		{name: "intertask-par4-noprune", opts: func(o *Options) {
 			o.Opt = InterTask
 			o.ProcessParallelism = 4
 			o.ProcessNoPrune = true
 		}},
+		// The conjunct planner reorders compiled WHERE legs at Prepare time;
+		// running the corpus with it pinned off must still render the same
+		// bytes at both ends of the optimization ladder.
+		{name: "noopt-noplan", opts: func(o *Options) { o.Opt = NoOpt }, noPlan: true},
+		{name: "intertask-noplan", opts: func(o *Options) { o.Opt = InterTask }, noPlan: true},
 	}
 	return vars
 }
@@ -189,11 +195,21 @@ func TestGoldenCorpus(t *testing.T) {
 					engine.SplitSourceAt(engine.NewMemSource(tbl), unevenCuts(engine.NewMemSource(tbl).NumSegments()))),
 				"zpack-shard3": engine.NewShardedStoreFromShards(
 					engine.SplitSourceAt(pack, unevenCuts(pack.NumSegments()))),
+				// backend=auto routes each prepared plan to a row or column
+				// sub-store by query shape; whichever way a script's queries
+				// route, the rendered bytes must not move.
+				"auto":        engine.NewAutoStore(1, tbl),
+				"auto-shard3": engine.NewAutoStore(3, tbl),
 			}
-			for _, backend := range []string{"row", "bitmap", "column", "zpack", "column-shard3", "zpack-shard3"} {
+			for _, backend := range []string{"row", "bitmap", "column", "zpack", "column-shard3", "zpack-shard3", "auto", "auto-shard3"} {
 				db := backends[backend]
 				for _, gv := range goldenVariants() {
 					t.Run(backend+"/"+gv.name, func(t *testing.T) {
+						if gv.noPlan {
+							p := db.(engine.Planner)
+							p.SetPlanning(false)
+							defer p.SetPlanning(true)
+						}
 						got := runGolden(t, src, db, gc, gv.opts)
 						if got != string(want) {
 							t.Errorf("result differs from golden\n--- got ---\n%s\n--- want ---\n%s", clip(got), clip(string(want)))
