@@ -5,15 +5,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
 
+	"repro/internal/compact"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/minisql"
 	"repro/internal/workload"
 	"repro/internal/zexec"
+	"repro/internal/zpack"
 	"repro/internal/zql"
 )
 
@@ -26,12 +29,33 @@ import (
 // the sweep actually had); the committed files exist so PRs that claim a
 // speedup carry the measurement they were made on.
 type perfReport struct {
-	GeneratedBy string        `json:"generatedBy"`
-	GoMaxProcs  int           `json:"goMaxProcs"`
-	Workload    perfWorkload  `json:"workload"`
-	Batch       []perfBatch   `json:"batch"`
-	Process     []perfProcess `json:"process"`
-	Planner     []perfPlanner `json:"planner,omitempty"`
+	GeneratedBy string          `json:"generatedBy"`
+	GoMaxProcs  int             `json:"goMaxProcs"`
+	Workload    perfWorkload    `json:"workload"`
+	Batch       []perfBatch     `json:"batch"`
+	Process     []perfProcess   `json:"process"`
+	Planner     []perfPlanner   `json:"planner,omitempty"`
+	Compaction  *perfCompaction `json:"compaction,omitempty"`
+}
+
+// perfCompaction is the before/after of background compaction on a zpack
+// file that took a large unsorted append: the same shared-scan batch timed
+// over the dirty file and over the re-clustered generation. The segment-skip
+// delta is the whole point of the compactor; the latency delta is what it
+// buys the user.
+type perfCompaction struct {
+	BaseRows     int `json:"baseRows"`     // clustered rows the file started with
+	AppendedRows int `json:"appendedRows"` // shuffled rows appended on top
+	// Cols are the cluster columns the rewrite picked from the batch's own
+	// skip provenance; Unsorted counts segments out of primary-column order.
+	Cols           []string `json:"cols"`
+	UnsortedBefore int      `json:"unsortedBefore"`
+	UnsortedAfter  int      `json:"unsortedAfter"`
+	CompactNs      int64    `json:"compactNs"`
+	// Appended is the batch over the dirty file, Compacted over the rewritten
+	// generation — same plans, same store kind, same iteration count.
+	Appended  perfBatch `json:"appended"`
+	Compacted perfBatch `json:"compacted"`
 }
 
 // perfWorkload pins the dataset and batch shape the numbers were taken on.
@@ -284,6 +308,12 @@ func runPerfJSON(path string) error {
 		return err
 	}
 
+	// Compaction before/after: what re-clustering an append-dirtied file does
+	// to the same batch's segment skipping and latency.
+	if err := runCompactionSweep(&rep, zvals); err != nil {
+		return err
+	}
+
 	// Process phase: the same ZQL run unsharded and sharded; processNs is the
 	// task-processor slice of the total.
 	q, err := zql.Parse(perfProcessZQL)
@@ -323,5 +353,82 @@ func runPerfJSON(path string) error {
 	}
 	fmt.Printf("wrote %s (%d batch configs, %d process runs, GOMAXPROCS=%d)\n",
 		path, len(rep.Batch), len(rep.Process), rep.GoMaxProcs)
+	return nil
+}
+
+// runCompactionSweep builds a zpack file that is 30% clustered history and
+// 70% shuffled append (live ingest at its worst), times the per-z batch over
+// it, re-clusters it the way the background compactor would — cluster
+// columns picked from the batch's own skip provenance — and times the same
+// batch over the new generation.
+func runCompactionSweep(rep *perfReport, zvals []string) error {
+	const baseRows, tailRows, zCard, xCard, nplans, iters = 30000, 70000, 64, 10, 32, 15
+	dir, err := os.MkdirTemp("", "zbench-compact")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "sweep.zpack")
+	if err := zpack.Build(path, workload.GroupSweepClustered(baseRows, zCard, xCard, 11)); err != nil {
+		return err
+	}
+	w, err := zpack.OpenAppend(path)
+	if err != nil {
+		return err
+	}
+	if err := w.AppendTable(workload.GroupSweep(tailRows, zCard, xCard, 12)); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+
+	pc := perfCompaction{BaseRows: baseRows, AppendedRows: tailRows}
+	r1, err := zpack.Open(path)
+	if err != nil {
+		return err
+	}
+	db1 := engine.NewColumnStoreFromSource(r1)
+	plans, err := perfBatchPlans(db1, zvals, nplans)
+	if err != nil {
+		r1.Close()
+		return err
+	}
+	if pc.Appended, err = timeBatch(db1, plans, iters); err != nil {
+		r1.Close()
+		return err
+	}
+	pc.Appended.Backend = "zpack"
+	// The batch itself generated the skip provenance the compactor picks its
+	// cluster columns from — the same evidence loop the server uses.
+	prov := db1.SkipProvenance()
+	r1.Close()
+
+	start := time.Now()
+	res, err := compact.File(path, compact.Options{Provenance: prov})
+	if err != nil {
+		return err
+	}
+	pc.CompactNs = time.Since(start).Nanoseconds()
+	pc.Cols = res.Cols
+	pc.UnsortedBefore = res.UnsortedBefore
+
+	r2, err := zpack.Open(path)
+	if err != nil {
+		return err
+	}
+	defer r2.Close()
+	if pc.UnsortedAfter, err = compact.Unsorted(r2, res.Cols[0]); err != nil {
+		return err
+	}
+	db2 := engine.NewColumnStoreFromSource(r2)
+	if plans, err = perfBatchPlans(db2, zvals, nplans); err != nil {
+		return err
+	}
+	if pc.Compacted, err = timeBatch(db2, plans, iters); err != nil {
+		return err
+	}
+	pc.Compacted.Backend = "zpack"
+	rep.Compaction = &pc
 	return nil
 }

@@ -6,6 +6,7 @@
 //
 //	zpack build  -o data.zpack [-name n] input.csv    build from CSV
 //	zpack append -to data.zpack input.csv             append CSV rows
+//	zpack compact [-cols a,b] data.zpack              rewrite re-clustered (z-order)
 //	zpack inspect data.zpack                          print footer metadata
 //	zpack verify data.zpack                           check every checksum
 package main
@@ -18,6 +19,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/compact"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/zpack"
@@ -34,6 +36,8 @@ func main() {
 		cmdBuild(os.Args[2:])
 	case "append":
 		cmdAppend(os.Args[2:])
+	case "compact":
+		cmdCompact(os.Args[2:])
 	case "inspect":
 		cmdInspect(os.Args[2:])
 	case "verify":
@@ -50,6 +54,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   zpack build  -o data.zpack [-name n] input.csv
   zpack append -to data.zpack input.csv
+  zpack compact [-cols a,b] data.zpack
   zpack inspect data.zpack
   zpack verify data.zpack
 `)
@@ -102,6 +107,27 @@ func cmdAppend(args []string) {
 		log.Fatal(err)
 	}
 	log.Printf("appended %d rows to %s: now %d rows in %d segments", w.Rows()-before, *to, w.Rows(), w.Segments())
+}
+
+func cmdCompact(args []string) {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	cols := fs.String("cols", "", "comma-separated cluster columns in significance order (default: pick by dictionary statistics)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	var opts compact.Options
+	if *cols != "" {
+		for _, c := range strings.Split(*cols, ",") {
+			opts.Cols = append(opts.Cols, strings.TrimSpace(c))
+		}
+	}
+	res, err := compact.File(fs.Arg(0), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("compacted %s: %d rows in %d segments re-clustered on %s (%d segments were out of order)",
+		fs.Arg(0), res.Rows, res.Segments, strings.Join(res.Cols, ","), res.UnsortedBefore)
 }
 
 func cmdInspect(args []string) {

@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/compact"
 	"repro/internal/dataset"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -66,6 +67,10 @@ func main() {
 		maxQueue  = flag.Int("max-queue", server.DefaultMaxQueue, "admission queue bound per dataset before 429 shedding (negative = unbounded)")
 		accessLog = flag.Bool("access-log", false, "write one JSON access-log line per request to stderr")
 		noPlanner = flag.Bool("no-planner", false, "pin WHERE conjuncts to written order instead of the planner's cheapest-first reorder (A/B baseline; results identical)")
+
+		compactEvery = flag.Duration("compact", 0, "background compaction sweep interval for zpack datasets (0 disables); each sweep re-clusters datasets whose appended tails exceed -compact-threshold")
+		compactThr   = flag.Int("compact-threshold", 1, "unsorted tail segments that trigger a background compaction")
+		compactCols  = flag.String("compact-cols", "", "comma-separated cluster columns for background compaction (default: pick per dataset from skip provenance + dictionary stats)")
 	)
 	flag.Func("data", "dataset to serve: name=path.csv, name=path.zpack, or a directory of *.zpack files (repeatable)", func(v string) error {
 		dataSpecs = append(dataSpecs, v)
@@ -121,6 +126,24 @@ func main() {
 	}
 	// Every dataset is loaded; /readyz may pass from here on.
 	reg.SetReady(true)
+
+	if *compactEvery > 0 {
+		var cols []string
+		if *compactCols != "" {
+			for _, c := range strings.Split(*compactCols, ",") {
+				cols = append(cols, strings.TrimSpace(c))
+			}
+		}
+		cctx, cancelCompact := context.WithCancel(context.Background())
+		defer cancelCompact()
+		go server.NewCompactor(reg, server.CompactorConfig{
+			Interval:  *compactEvery,
+			Threshold: *compactThr,
+			Cols:      cols,
+			Logf:      log.Printf,
+		}).Run(cctx)
+		log.Printf("background compactor: sweep every %s, threshold %d unsorted segment(s)", *compactEvery, *compactThr)
+	}
 
 	var srvOpts []server.Option
 	if *timeout > 0 {
@@ -191,6 +214,14 @@ func loadDataSpec(reg *server.Registry, spec string, cfg server.Config) error {
 		return fmt.Errorf("bad -data %q (want name=path.csv or name=path.zpack)", spec)
 	}
 	if strings.HasSuffix(path, ".zpack") {
+		// A compactor that died mid-write may have left a half-written
+		// generation next to the file; it never matches the *.zpack glob, so
+		// it was never served — just reclaim the space.
+		if removed, err := compact.SweepTmp(filepath.Dir(path)); err == nil {
+			for _, tmp := range removed {
+				log.Printf("removed stale compaction temp %s", tmp)
+			}
+		}
 		zcfg := cfg
 		zcfg.Backend = "column" // the only backend with lazy segment loading
 		d, err := reg.AddZpack(name, path, zcfg)

@@ -1,0 +1,216 @@
+package compact
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/zpack"
+)
+
+// errCrash is the sentinel a crash-test hook returns to abandon the rewrite
+// at a chosen stage, simulating the process dying right there.
+var errCrash = errors.New("simulated crash")
+
+// crashAt runs a compaction that dies at the given stage and returns the
+// File error. The file at path is left exactly as the crash left it.
+func crashAt(t *testing.T, path string, stage Stage) error {
+	t.Helper()
+	_, err := File(path, Options{
+		Cols: []string{"z", "x"},
+		Hook: func(s Stage, tmp string) error {
+			if s == stage {
+				return errCrash
+			}
+			return nil
+		},
+	})
+	if err == nil {
+		t.Fatalf("crash at %s: File returned nil error", stage)
+	}
+	if !errors.Is(err, errCrash) {
+		t.Fatalf("crash at %s: error %v does not wrap the sentinel", stage, err)
+	}
+	if !strings.Contains(err.Error(), stage.String()) {
+		t.Fatalf("crash at %s: error %q does not name the stage", stage, err)
+	}
+	return err
+}
+
+// restartView is what a warm restart would serve: the *.zpack glob over the
+// directory, which must find exactly one complete generation.
+func restartView(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.zpack"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("restart glob found %v, want exactly one generation", matches)
+	}
+	return matches[0]
+}
+
+// mustServe asserts that the file opens, verifies every checksum, and holds
+// the expected row count — i.e. a restart over it serves a complete
+// generation, never a torn one.
+func mustServe(t *testing.T, path string, rows int) {
+	t.Helper()
+	r, err := zpack.Open(path)
+	if err != nil {
+		t.Fatalf("restart cannot open %s: %v", path, err)
+	}
+	defer r.Close()
+	if err := r.Verify(); err != nil {
+		t.Fatalf("restart generation fails verification: %v", err)
+	}
+	if r.Rows() != rows {
+		t.Fatalf("restart generation has %d rows, want %d", r.Rows(), rows)
+	}
+}
+
+// TestCrashMatrix kills the compactor at every stage of the commit protocol
+// and checks the invariant the protocol promises: a warm restart always
+// serves the newest COMPLETE generation, byte-identical to what was
+// committed, and never a torn file.
+func TestCrashMatrix(t *testing.T) {
+	const rows = 20000 + 8192
+	cases := []struct {
+		stage   Stage
+		swapped bool // true once the new generation is the visible one
+	}{
+		{StageTempCreated, false},
+		{StagePreRename, false},
+		{StagePostRename, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.stage.String(), func(t *testing.T) {
+			path := buildSweep(t)
+			appendShuffled(t, path, 8192)
+			dir := filepath.Dir(path)
+			oldBytes, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			crashAt(t, path, tc.stage)
+
+			got := restartView(t, dir)
+			if got != path {
+				t.Fatalf("restart would serve %s, want %s", got, path)
+			}
+			newBytes, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.swapped {
+				// Post-rename: the new generation is committed even though the
+				// directory fsync never ran; it must be complete and sorted.
+				if string(newBytes) == string(oldBytes) {
+					t.Fatal("post-rename crash left the old generation in place")
+				}
+				mustServe(t, path, rows)
+				r, err := zpack.Open(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n, err := Unsorted(r, "z")
+				r.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n != 0 {
+					t.Fatalf("committed generation has %d unsorted segments", n)
+				}
+			} else {
+				// Pre-rename stages: the committed file is byte-identical to
+				// before the crash — the rewrite never touched it.
+				if string(newBytes) != string(oldBytes) {
+					t.Fatalf("crash at %s modified the committed generation", tc.stage)
+				}
+				mustServe(t, path, rows)
+				// The abandoned temp is on disk but invisible to the glob; the
+				// startup sweep reclaims it and the next compaction succeeds.
+				if _, err := os.Stat(path + TmpSuffix); err != nil {
+					t.Fatalf("expected abandoned temp after crash at %s: %v", tc.stage, err)
+				}
+				if removed, err := SweepTmp(dir); err != nil || len(removed) != 1 {
+					t.Fatalf("startup sweep removed %v (err %v), want the one temp", removed, err)
+				}
+			}
+
+			// Recovery: a rerun over whatever the crash left behind commits
+			// cleanly and yields a fully clustered generation.
+			res, err := File(path, Options{Cols: []string{"z", "x"}})
+			if err != nil {
+				t.Fatalf("recovery compaction failed: %v", err)
+			}
+			if res.Rows != rows {
+				t.Fatalf("recovery rewrote %d rows, want %d", res.Rows, rows)
+			}
+			mustServe(t, path, rows)
+		})
+	}
+}
+
+// TestCrashLeavesUnservableTemp: the temp abandoned at StageTempCreated (a
+// bare header) and a truncated copy of a complete generation both fail to
+// open — a torn file can never be mistaken for a generation even if someone
+// bypasses the glob and points a reader straight at it.
+func TestCrashLeavesUnservableTemp(t *testing.T) {
+	path := buildSweep(t)
+	crashAt(t, path, StageTempCreated)
+	tmp := path + TmpSuffix
+	if _, err := zpack.Open(tmp); err == nil {
+		t.Fatal("header-only temp opened as a valid zpack file")
+	}
+
+	// Truncate a complete file at several points: a reader must reject every
+	// prefix, because the trailer (and its checksum) lives at the very end.
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{17, len(whole) / 3, len(whole) / 2, len(whole) - 1} {
+		torn := filepath.Join(t.TempDir(), "torn.zpack"+TmpSuffix)
+		if err := os.WriteFile(torn, whole[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := zpack.Open(torn); err == nil {
+			t.Fatalf("truncation to %d bytes still opened", n)
+		}
+	}
+}
+
+// TestCompactionOverStaleTemp: a crashed predecessor's temp (even one full of
+// garbage) does not block or corrupt the next compaction — File removes it
+// and commits a fresh rewrite.
+func TestCompactionOverStaleTemp(t *testing.T) {
+	path := buildSweep(t)
+	appendShuffled(t, path, 4096)
+	if err := os.WriteFile(path+TmpSuffix, []byte("garbage from a dead compactor"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := rowMultiset(t, path)
+	if _, err := File(path, Options{Cols: []string{"z"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !equalMultiset(before, rowMultiset(t, path)) {
+		t.Fatal("rewrite over a stale temp changed the row multiset")
+	}
+	mustServe(t, path, 24096)
+}
+
+func equalMultiset(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

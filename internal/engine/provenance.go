@@ -96,6 +96,20 @@ func SortedSkipAttrs(m map[SkipAttr]int64) []SkipAttr {
 	return attrs
 }
 
+// ColumnSkipTotals folds a skip-provenance map to per-column totals,
+// dropping the synthetic "(multi)" and "(none)" buckets that don't name a
+// real column — the ranking signal the compactor's key chooser consumes.
+func ColumnSkipTotals(m map[SkipAttr]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for a, n := range m {
+		if a.Column == "(multi)" || a.Column == "(none)" {
+			continue
+		}
+		out[a.Column] += n
+	}
+	return out
+}
+
 // exprColumns collects the distinct column names an expression constrains,
 // in first-seen order.
 func exprColumns(e minisql.Expr, into []string) []string {

@@ -184,6 +184,48 @@ func newMetrics(reg *Registry) *metrics {
 				emit(float64(e.Count), obsv.Label{Key: "route", Value: e.Route})
 			}
 		})
+	perDataset("zen_compactions_total",
+		"Successful background/manual compactions (zpack datasets).", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			if s.Compaction != nil {
+				emit(float64(s.Compaction.Compactions))
+			}
+		})
+	perDataset("zen_compaction_failures_total",
+		"Compactions that failed; the old generation kept serving.", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			if s.Compaction != nil {
+				emit(float64(s.Compaction.Failures))
+			}
+		})
+	perDataset("zen_compaction_rows_rewritten_total",
+		"Rows rewritten into re-clustered generations.", "counter",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			if s.Compaction != nil {
+				emit(float64(s.Compaction.RowsRewritten))
+			}
+		})
+	perDataset("zen_compaction_generation",
+		"Compacted generation serving now (0 = file as loaded).", "gauge",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			if s.Compaction != nil {
+				emit(float64(s.Compaction.Generation))
+			}
+		})
+	perDataset("zen_compaction_unsorted_segments",
+		"Segments out of primary-cluster-column order (what the compactor thresholds on).", "gauge",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			if s.Compaction != nil {
+				emit(float64(s.Compaction.UnsortedSegments))
+			}
+		})
+	perDataset("zen_compaction_last_duration_seconds",
+		"Wall time of the most recent successful compaction.", "gauge",
+		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {
+			if s.Compaction != nil {
+				emit(float64(s.Compaction.LastDurationMs) / 1e3)
+			}
+		})
 	perDataset("zen_process_tuples_total",
 		"Process-phase tuples scored.", "counter",
 		func(_ *Dataset, s DatasetStats, emit func(float64, ...obsv.Label)) {

@@ -116,6 +116,15 @@ type Dataset struct {
 	packR    *zpack.Reader
 	packW    atomic.Pointer[zpack.Writer]
 
+	// packOwner is the descriptor-owning Reader of the current generation's
+	// file: Append's Reopen shares its descriptor, so the whole append lineage
+	// of one inode hangs off this one fd. A compaction replaces the inode and
+	// so must open a new owner; the superseded one moves to packRetired and is
+	// closed one compaction later, when every query that could still hold the
+	// old snapshot is long finished (see Registry.Compact).
+	packOwner   *zpack.Reader
+	packRetired *zpack.Reader
+
 	// ctr is SHARED across a dataset's generations: an append swaps in a
 	// successor Dataset that points at the same counter cell, so increments
 	// from requests still running on the old view land in the totals /stats
@@ -142,6 +151,22 @@ type dsCounters struct {
 	// went away mid-execution (499) — both are executions the context cut
 	// short at an engine cancellation point.
 	timeouts atomic.Int64
+
+	// Compaction state, shared across generations like everything else in this
+	// struct. generation counts successful compactions (0 = as loaded);
+	// unsortedSegs is a gauge over the current file, refreshed at registration,
+	// after every append, and after every compaction — not at scrape time,
+	// because /metrics reads Stats() once per series. lastAppendNano is what
+	// the background compactor's pause-during-append debounce checks.
+	compactions    atomic.Int64
+	compactFails   atomic.Int64
+	rowsRewritten  atomic.Int64
+	generation     atomic.Int64
+	lastCompactNs  atomic.Int64
+	lastCols       atomic.Pointer[[]string]
+	clusterCol     atomic.Pointer[string]
+	unsortedSegs   atomic.Int64
+	lastAppendNano atomic.Int64
 }
 
 // recordProcess folds one execution's process-phase counters into the
@@ -223,6 +248,31 @@ type DatasetStats struct {
 	// Shards is present only on sharded datasets: each shard's share of the
 	// scan work, in shard order. The store-wide counters above are the sums.
 	Shards []ShardStats `json:"shards,omitempty"`
+	// Compaction is present only on zpack-backed datasets: the re-clustering
+	// lifecycle counters (docs/OPERATIONS.md, "Compaction").
+	Compaction *CompactionStats `json:"compaction,omitempty"`
+}
+
+// CompactionStats is the compaction lifecycle of one zpack-backed dataset.
+type CompactionStats struct {
+	// Generation counts successful compactions since the dataset registered
+	// (0 = serving the file as loaded).
+	Generation int64 `json:"generation"`
+	// Compactions / Failures / RowsRewritten are cumulative across
+	// generations; a failure leaves the old generation serving.
+	Compactions   int64 `json:"compactions"`
+	Failures      int64 `json:"failures"`
+	RowsRewritten int64 `json:"rowsRewritten"`
+	// LastDurationMs and LastCols describe the most recent successful
+	// compaction: wall time and the cluster columns used.
+	LastDurationMs int64    `json:"lastDurationMs,omitempty"`
+	LastCols       []string `json:"lastCols,omitempty"`
+	// ClusterCol is the primary cluster column the UnsortedSegments gauge is
+	// measured against; UnsortedSegments counts segments out of order on it —
+	// the disorder appends accumulate and the background compactor thresholds
+	// on. Zero right after a compaction, by construction.
+	ClusterCol       string `json:"clusterCol,omitempty"`
+	UnsortedSegments int64  `json:"unsortedSegments"`
 }
 
 // SkipProvEntry is one skip-attribution bucket: segments proved empty for
@@ -343,8 +393,26 @@ func (d *Dataset) Stats() DatasetStats {
 		busy, capacity := ps.PoolStats()
 		pool = &PoolStats{Busy: busy, Capacity: capacity}
 	}
+	var compaction *CompactionStats
+	if d.packPath != "" {
+		compaction = &CompactionStats{
+			Generation:       d.ctr.generation.Load(),
+			Compactions:      d.ctr.compactions.Load(),
+			Failures:         d.ctr.compactFails.Load(),
+			RowsRewritten:    d.ctr.rowsRewritten.Load(),
+			LastDurationMs:   d.ctr.lastCompactNs.Load() / 1e6,
+			UnsortedSegments: d.ctr.unsortedSegs.Load(),
+		}
+		if cols := d.ctr.lastCols.Load(); cols != nil {
+			compaction.LastCols = *cols
+		}
+		if col := d.ctr.clusterCol.Load(); col != nil {
+			compaction.ClusterCol = *col
+		}
+	}
 	return DatasetStats{
 		Shards:          shards,
+		Compaction:      compaction,
 		Backend:         d.backend,
 		Rows:            d.table.NumRows(),
 		Queries:         c.Queries,
@@ -478,8 +546,9 @@ func (r *Registry) AddZpack(name, path string, cfg Config) (*Dataset, error) {
 		reader.Close()
 		return nil, err
 	}
-	d.packPath, d.packR = path, reader
+	d.packPath, d.packR, d.packOwner = path, reader, reader
 	d.packW.Store(writer)
+	d.refreshUnsorted()
 	return r.add(d)
 }
 
@@ -641,6 +710,7 @@ func (r *Registry) Append(name string, rows []dataset.Row) (*Dataset, error) {
 		return nil, err
 	}
 	nd.packPath, nd.packR = d.packPath, fresh
+	nd.packOwner, nd.packRetired = d.packOwner, d.packRetired
 	nd.packW.Store(w)
 	// Counter continuity: /stats stays exact and monotonic across the swap.
 	// HTTP and process counters are a shared cell (nd adopts d's), the
@@ -649,6 +719,8 @@ func (r *Registry) Append(name string, rows []dataset.Row) (*Dataset, error) {
 	// (documented in OPERATIONS.md).
 	nd.ctr = d.ctr
 	nd.cache.InheritStats(d.cache)
+	nd.ctr.lastAppendNano.Store(nowNano())
+	nd.refreshUnsorted()
 	r.mu.Lock()
 	r.datasets[name] = nd
 	r.mu.Unlock()

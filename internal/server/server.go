@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -75,6 +76,7 @@ func New(reg *Registry, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /spec", s.handleSpec)
 	s.mux.HandleFunc("POST /recommend", s.handleRecommend)
 	s.mux.HandleFunc("POST /datasets/{name}/append", s.handleAppend)
+	s.mux.HandleFunc("POST /datasets/{name}/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.Handle("GET /metrics", s.metrics.obsv)
@@ -485,6 +487,78 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		Appended: len(rows),
 		Rows:     nd.Table().NumRows(),
 		Segments: nd.Segments(),
+	})
+}
+
+// CompactRequest is the (optional) body of POST /datasets/{name}/compact:
+// cluster columns in significance order. An empty body (or empty cols) lets
+// the server pick from live skip provenance and dictionary statistics.
+type CompactRequest struct {
+	Cols []string `json:"cols,omitempty"`
+}
+
+// CompactResponse reports one completed compaction.
+type CompactResponse struct {
+	Dataset string `json:"dataset"`
+	// Cols are the cluster columns used (echoed or auto-picked).
+	Cols []string `json:"cols"`
+	// Rows and Segments describe the rewritten generation; UnsortedBefore is
+	// how many segments were out of cluster order before the rewrite.
+	Rows           int   `json:"rows"`
+	Segments       int   `json:"segments"`
+	UnsortedBefore int   `json:"unsortedBefore"`
+	Generation     int64 `json:"generation"`
+	DurationMs     int64 `json:"durationMs"`
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req CompactRequest
+	// The trigger needs no parameters, so tolerate an empty body; a non-empty
+	// body must decode strictly like every other endpoint.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(body) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+	}
+	d := s.dataset(w, name)
+	if d == nil {
+		return
+	}
+	for _, col := range req.Cols {
+		if d.Table().Column(col) == nil {
+			d.ctr.errors.Add(1)
+			writeError(w, http.StatusBadRequest, fmt.Errorf("no column %q in dataset %q", col, name))
+			return
+		}
+	}
+	start := time.Now()
+	nd, res, err := s.reg.Compact(name, req.Cols)
+	if err != nil {
+		d.ctr.errors.Add(1)
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNotCompactable) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CompactResponse{
+		Dataset:        name,
+		Cols:           res.Cols,
+		Rows:           res.Rows,
+		Segments:       res.Segments,
+		UnsortedBefore: res.UnsortedBefore,
+		Generation:     nd.ctr.generation.Load(),
+		DurationMs:     time.Since(start).Milliseconds(),
 	})
 }
 

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/compact"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/vis"
@@ -182,11 +183,26 @@ func TestGoldenCorpus(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer pack.Close()
+			// The compacted variant re-clusters the same build (z-order on
+			// auto-picked columns) before serving it: a physical row reorder
+			// must never move a rendered byte. Fixture measures are exact
+			// binary floats, so even aggregate sums are order-invariant.
+			cpath := buildZpack(t, tbl)
+			if _, err := compact.File(cpath, compact.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			cpack, err := zpack.Open(cpath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cpack.Close()
 			backends := map[string]engine.DB{
 				"row":    engine.NewRowStore(tbl),
 				"bitmap": engine.NewBitmapStore(tbl),
 				"column": engine.NewColumnStore(tbl),
 				"zpack":  engine.NewColumnStoreFromSource(pack),
+				// Same corpus over the re-clustered generation.
+				"zpack-compacted": engine.NewColumnStoreFromSource(cpack),
 				// Sharded variants: 3 deliberately uneven shards (SplitSourceAt
 				// rather than a balanced split) over the in-memory source and
 				// the same zpack reader. Scatter-gather must render the corpus
@@ -201,7 +217,7 @@ func TestGoldenCorpus(t *testing.T) {
 				"auto":        engine.NewAutoStore(1, tbl),
 				"auto-shard3": engine.NewAutoStore(3, tbl),
 			}
-			for _, backend := range []string{"row", "bitmap", "column", "zpack", "column-shard3", "zpack-shard3", "auto", "auto-shard3"} {
+			for _, backend := range []string{"row", "bitmap", "column", "zpack", "zpack-compacted", "column-shard3", "zpack-shard3", "auto", "auto-shard3"} {
 				db := backends[backend]
 				for _, gv := range goldenVariants() {
 					t.Run(backend+"/"+gv.name, func(t *testing.T) {

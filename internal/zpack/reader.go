@@ -59,13 +59,22 @@ func Open(path string) (*Reader, error) {
 	return r, nil
 }
 
-// Reopen re-reads the footer from the same file descriptor and returns a
-// fresh Reader over the newly committed snapshot. Because committed byte
-// ranges are append-only, the original Reader keeps working unchanged; the
-// two share the descriptor, and only the Reader created by Open owns it.
-// This is how the server swaps in an appended dataset without a
-// file-descriptor-per-generation leak.
+// Reopen re-reads the footer and returns a fresh Reader over the newly
+// committed snapshot. In the append case the path still names the inode this
+// Reader holds open: committed byte ranges are append-only, so the original
+// Reader keeps working unchanged, the two share the descriptor, and only the
+// Reader created by Open owns it — no file-descriptor-per-generation leak.
+// But after a compaction's atomic-rename cutover the path names a NEW inode;
+// re-reading the shared descriptor there would resurrect the replaced
+// generation's footer (or tear against a concurrent writer), so Reopen
+// detects the generation boundary with os.SameFile and opens a fresh,
+// descriptor-owning Reader instead.
 func (r *Reader) Reopen() (*Reader, error) {
+	if st, err := os.Stat(r.path); err == nil {
+		if fst, ferr := r.f.Stat(); ferr == nil && !os.SameFile(st, fst) {
+			return Open(r.path)
+		}
+	}
 	return newReader(r.f, r.path, false)
 }
 
