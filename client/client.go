@@ -16,6 +16,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/recommend"
+	"repro/internal/trace"
 	"repro/internal/vis"
 	"repro/internal/zexec"
 	"repro/internal/zpack"
@@ -243,12 +244,44 @@ func (s *Session) QueryAt(src string, inputs map[string][]float64, opt zexec.Opt
 // between process-phase tuples); the returned error then wraps ctx.Err(),
 // and a *zexec.PartialError carries the stats accumulated before the cut.
 func (s *Session) QueryContext(ctx context.Context, src string, inputs map[string][]float64, opt zexec.OptLevel) (*zexec.Result, error) {
+	return s.queryContext(ctx, src, inputs, opt, false)
+}
+
+// PlanContext is QueryContext in EXPLAIN plan mode: the query is parsed,
+// resolved, and prepared — every SQL statement rendered, every plan's
+// conjunct order and route decided, all traced when the context carries a
+// span — but nothing executes against the data. The result's outputs are
+// empty visualizations; its SQLLog is the real one.
+func (s *Session) PlanContext(ctx context.Context, src string, inputs map[string][]float64, opt zexec.OptLevel) (*zexec.Result, error) {
+	return s.queryContext(ctx, src, inputs, opt, true)
+}
+
+// ExplainContext runs the query (analyze=true) or only plans it
+// (analyze=false) under a fresh trace when the context does not already
+// carry one, and returns the rendered span tree alongside the result. When
+// the context already has a span — the server's middleware owns the trace
+// there — the tree is nil and the caller renders from its own trace.
+func (s *Session) ExplainContext(ctx context.Context, src string, inputs map[string][]float64, opt zexec.OptLevel, analyze bool) (*zexec.Result, *trace.Tree, error) {
+	var tr *trace.Trace
+	if trace.FromContext(ctx) == nil {
+		tr = trace.New("request", "")
+		ctx = trace.WithSpan(ctx, tr.Root)
+	}
+	res, err := s.queryContext(ctx, src, inputs, opt, !analyze)
+	if tr == nil {
+		return res, nil, err
+	}
+	tr.Root.End()
+	return res, tr.Tree(), err
+}
+
+func (s *Session) queryContext(ctx context.Context, src string, inputs map[string][]float64, opt zexec.OptLevel, planOnly bool) (*zexec.Result, error) {
 	q, err := zql.Parse(src)
 	if err != nil {
 		s.record(src, nil, err)
 		return nil, err
 	}
-	opts := zexec.Options{Table: s.table, Opt: opt, Metric: s.metric, Seed: s.seed, ProcessParallelism: s.pworkers}
+	opts := zexec.Options{Table: s.table, Opt: opt, Metric: s.metric, Seed: s.seed, ProcessParallelism: s.pworkers, PlanOnly: planOnly}
 	if len(inputs) > 0 {
 		opts.Inputs = make(map[string]*vis.Visualization, len(inputs))
 		for name, ys := range inputs {

@@ -1,0 +1,82 @@
+package client
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/zexec"
+)
+
+// TestExplainContextAnalyze asserts the client-side explain path returns a
+// populated span tree alongside the normal result.
+func TestExplainContextAnalyze(t *testing.T) {
+	s := testTable()
+	res, tree, err := s.ExplainContext(context.Background(), risingQuery, nil, zexec.InterTask, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 1 || res.Outputs[0].Len() != 2 {
+		t.Fatalf("outputs = %+v", res.Outputs)
+	}
+	if tree == nil || tree.Root == nil {
+		t.Fatal("no span tree")
+	}
+	var stages []string
+	trace.Walk(tree.Root, func(n *trace.Node) { stages = append(stages, n.Name) })
+	for _, want := range []string{"prepare", "plan", "execute", "scan", "process"} {
+		found := false
+		for _, got := range stages {
+			if got == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("span tree missing stage %q (got %v)", want, stages)
+		}
+	}
+}
+
+// TestPlanContextSkipsExecution asserts plan-only runs plan but never scan.
+func TestPlanContextSkipsExecution(t *testing.T) {
+	s := testTable()
+	_, tree, err := s.ExplainContext(context.Background(), risingQuery, nil, zexec.InterTask, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPlan, sawScan := false, false
+	trace.Walk(tree.Root, func(n *trace.Node) {
+		switch n.Name {
+		case "plan":
+			sawPlan = true
+		case "scan":
+			sawScan = true
+		}
+	})
+	if !sawPlan {
+		t.Error("plan-only trace has no plan spans")
+	}
+	if sawScan {
+		t.Error("plan-only trace scanned data")
+	}
+}
+
+// TestExplainContextDefersToOuterTrace asserts the session does not start a
+// second trace when the caller's context already carries a span (the server
+// middleware case): the tree comes back nil and spans land on the outer trace.
+func TestExplainContextDefersToOuterTrace(t *testing.T) {
+	s := testTable()
+	tr := trace.New("outer", "")
+	ctx := trace.WithSpan(context.Background(), tr.Root)
+	_, tree, err := s.ExplainContext(ctx, risingQuery, nil, zexec.InterTask, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree != nil {
+		t.Errorf("session minted its own tree despite an outer trace")
+	}
+	tr.Root.End()
+	if got := tr.Tree(); len(got.Root.Children) == 0 {
+		t.Error("outer trace recorded no spans")
+	}
+}

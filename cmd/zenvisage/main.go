@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/frontend"
 	"repro/internal/recommend"
 	"repro/internal/render"
+	"repro/internal/trace"
 	"repro/internal/vis"
 	"repro/internal/workload"
 	"repro/internal/zexec"
@@ -56,6 +58,7 @@ func main() {
 		pworkers  = flag.Int("process-workers", 0, "process-phase worker goroutines (0 = auto: sequential at -opt noopt, GOMAXPROCS otherwise)")
 		noPrune   = flag.Bool("no-prune", false, "disable top-k pruning in the process phase (results are identical either way)")
 		showStats = flag.Bool("stats", true, "print execution statistics")
+		explain   = flag.String("explain", "", "print the query's span tree: 'plan' (plan only, no execution) or 'analyze' (execute, then show stage timings)")
 	)
 	flag.Parse()
 
@@ -114,7 +117,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := zexec.Run(q, db, zexec.Options{
+	if *explain != "" && *explain != "plan" && *explain != "analyze" {
+		log.Fatalf("bad -explain %q (want plan or analyze)", *explain)
+	}
+	ctx := context.Background()
+	var tr *trace.Trace
+	if *explain != "" {
+		tr = trace.New("query", "")
+		ctx = trace.WithSpan(ctx, tr.Root)
+	}
+	res, err := zexec.RunContext(ctx, q, db, zexec.Options{
 		Table:              tbl.Name,
 		Opt:                opt,
 		Metric:             m,
@@ -122,9 +134,18 @@ func main() {
 		Inputs:             inputs,
 		ProcessParallelism: *pworkers,
 		ProcessNoPrune:     *noPrune,
+		PlanOnly:           *explain == "plan",
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tr != nil {
+		tr.Root.End()
+		fmt.Print(tr.Tree().Render())
+		if *explain == "plan" {
+			return // plan only: no results to draw
+		}
+		fmt.Println()
 	}
 	for i, out := range res.Outputs {
 		fmt.Printf("== output %d: %d visualization(s) ==\n", i+1, out.Len())

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -67,6 +68,9 @@ func main() {
 		maxQueue  = flag.Int("max-queue", server.DefaultMaxQueue, "admission queue bound per dataset before 429 shedding (negative = unbounded)")
 		accessLog = flag.Bool("access-log", false, "write one JSON access-log line per request to stderr")
 		noPlanner = flag.Bool("no-planner", false, "pin WHERE conjuncts to written order instead of the planner's cheapest-first reorder (A/B baseline; results identical)")
+		slowMs    = flag.Int("slow-query-ms", int(server.DefaultSlowQueryThreshold/time.Millisecond), "capture requests at least this slow into GET /debug/slowlog (negative disables capture; tracing itself stays on)")
+		slowKeep  = flag.Int("slow-query-keep", server.DefaultSlowLogKeep, "slow-query log ring size")
+		debugAddr = flag.String("debug-addr", "", "listen address for the net/http/pprof debug server (empty = disabled); keep it off the public interface")
 
 		compactEvery = flag.Duration("compact", 0, "background compaction sweep interval for zpack datasets (0 disables); each sweep re-clusters datasets whose appended tails exceed -compact-threshold")
 		compactThr   = flag.Int("compact-threshold", 1, "unsorted tail segments that trigger a background compaction")
@@ -152,6 +156,11 @@ func main() {
 	if *accessLog {
 		srvOpts = append(srvOpts, server.WithAccessLog(os.Stderr))
 	}
+	slowThreshold := time.Duration(*slowMs) * time.Millisecond
+	if *slowMs < 0 {
+		slowThreshold = -1
+	}
+	srvOpts = append(srvOpts, server.WithSlowQueryLog(slowThreshold, *slowKeep))
 	srv := &http.Server{
 		Addr:         *addr,
 		Handler:      server.New(reg, srvOpts...),
@@ -159,9 +168,25 @@ func main() {
 		WriteTimeout: 5 * time.Minute, // big result sets over slow links
 		IdleTimeout:  2 * time.Minute,
 	}
+	if *debugAddr != "" {
+		// pprof gets its own listener so profiling endpoints never share the
+		// public address; the explicit mux carries ONLY the pprof handlers.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof debug server on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				log.Printf("pprof debug server: %v", err)
+			}
+		}()
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving %d dataset(s) on %s", len(reg.List()), *addr)
+	log.Printf("zserved %s (%s) serving %d dataset(s) on %s", server.Version(), server.GoVersion(), len(reg.List()), *addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -142,6 +142,7 @@ func (s *AutoStore) Prepare(q *minisql.Query) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.route = route // observability only: surfaces in EXPLAIN / trace attrs
 	s.mu.Lock()
 	s.routes[route]++
 	s.mu.Unlock()

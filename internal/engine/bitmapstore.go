@@ -9,6 +9,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/minisql"
 	"repro/internal/roaring"
+	"repro/internal/trace"
 )
 
 // BitmapStore is the in-memory "Roaring Bitmap Database" of the paper: a
@@ -422,8 +423,13 @@ func (s *BitmapStore) ExecuteBatch(ctx context.Context, plans []*Plan) ([]*Resul
 	if err := checkBatch(s, plans); err != nil {
 		return nil, err
 	}
+	sp := trace.FromContext(ctx).StartChild("scan")
+	sp.SetStr("backend", "bitmap")
+	sp.SetInt("plans", int64(len(plans)))
+	defer sp.End()
 	cache := make(bitmapCache)
 	iters := make([]rowIter, len(plans))
+	var planned int64
 	for i, p := range plans {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -433,9 +439,11 @@ func (s *BitmapStore) ExecuteBatch(ctx context.Context, plans []*Plan) ([]*Resul
 			return nil, fmt.Errorf("engine: batch plan %q: %w", p.SQL(), err)
 		}
 		iters[i] = iter
+		planned += scanned
 		s.stats.queries.Add(1)
 		s.stats.rowsScanned.Add(scanned)
 	}
+	sp.SetInt("rows", planned)
 	results := make([]*Result, len(plans))
 	errs := make([]error, len(plans))
 	var wg sync.WaitGroup

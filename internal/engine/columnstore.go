@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/minisql"
+	"repro/internal/trace"
 )
 
 // segmentSize is the internal alias of SegmentSize (see segsource.go).
@@ -282,10 +283,12 @@ func (s *ColumnStore) ExecuteBatch(ctx context.Context, plans []*Plan) ([]*Resul
 	}
 	results := make([]*Result, len(plans))
 	errs := make([]error, len(plans))
+	parent := trace.FromContext(ctx)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, s.parallelism())
 	for _, grp := range groupPlansByTable(plans) {
 		ct := s.cols[grp.t.Name]
+		tname := grp.t.Name
 		shards := shardIndices(grp.idx, s.parallelism())
 		s.stats.queries.Add(int64(len(grp.idx)))
 		for _, shard := range shards {
@@ -294,11 +297,16 @@ func (s *ColumnStore) ExecuteBatch(ctx context.Context, plans []*Plan) ([]*Resul
 			go func(shard []int) {
 				defer wg.Done()
 				defer func() { <-sem }()
+				sp := parent.StartChild("scan")
+				sp.SetStr("backend", "column")
+				sp.SetStr("table", tname)
+				sp.SetInt("plans", int64(len(shard)))
+				defer sp.End()
 				sinks := make([]rowSink, len(shard))
 				for k, pi := range shard {
 					sinks[k] = newColSink(plans[pi])
 				}
-				if err := s.scanInto(ctx, ct, plans, shard, sinks); err != nil {
+				if err := s.scanInto(ctx, ct, plans, shard, sinks, sp); err != nil {
 					// A failed segment load poisons every plan in the
 					// worker's share: each may have consumed partial data
 					// from the scan so far.
@@ -352,7 +360,9 @@ func (s *ColumnStore) scanPartial(ctx context.Context, plans []*Plan) ([]rowSink
 		sinks[k] = newColSink(p)
 	}
 	s.stats.queries.Add(int64(len(plans)))
-	if err := s.scanInto(ctx, ct, plans, shard, sinks); err != nil {
+	// The sharded store put this shard's scan span in ctx (or nothing, when
+	// the request is untraced) — scanInto annotates it either way.
+	if err := s.scanInto(ctx, ct, plans, shard, sinks, trace.FromContext(ctx)); err != nil {
 		return nil, err
 	}
 	return sinks, nil
@@ -368,7 +378,7 @@ func (s *ColumnStore) scanPartial(ctx context.Context, plans []*Plan) ([]rowSink
 // is returned; sinks may then hold partial data and must be discarded. The
 // context is checked once per segment: a cancelled scan stops at the next
 // segment boundary and returns ctx.Err().
-func (s *ColumnStore) scanInto(ctx context.Context, ct *colTable, plans []*Plan, shard []int, sinks []rowSink) error {
+func (s *ColumnStore) scanInto(ctx context.Context, ct *colTable, plans []*Plan, shard []int, sinks []rowSink, sp *trace.Span) error {
 	// Partition the shard: dispatchable single-equality plans fold into
 	// per-column groups, everything else goes through the shared-conjunct
 	// slots.
@@ -424,6 +434,7 @@ func (s *ColumnStore) scanInto(ctx context.Context, ct *colTable, plans []*Plan,
 	var scanned, skipped, segsScanned int64
 	prov := make(map[SkipAttr]int64)
 	var loadErr error
+	segSpans := 0
 	for seg := ct.segLo; seg < ct.segHi && loadErr == nil; seg++ {
 		// The segment boundary is the scan's cancellation point: a deadline
 		// or client disconnect stops the walk here, never mid-segment.
@@ -451,6 +462,16 @@ func (s *ColumnStore) scanInto(ctx context.Context, ct *colTable, plans []*Plan,
 			visited = true
 			segsScanned++
 			scanned += int64(hi - lo)
+			// Sampled per-segment spans: the first few scanned segments get
+			// a marker child each, enough to see which part of the table a
+			// slow scan actually touched without a span per segment.
+			if sp != nil && segSpans < segSpanSample {
+				segSpans++
+				c := sp.StartChild("segment")
+				c.SetInt("seg", int64(seg))
+				c.SetInt("rows", int64(hi-lo))
+				c.End()
+			}
 			return true
 		}
 		for _, g := range groups {
@@ -530,8 +551,17 @@ func (s *ColumnStore) scanInto(ctx context.Context, ct *colTable, plans []*Plan,
 	s.stats.segmentsScanned.Add(segsScanned)
 	s.stats.segmentsSkipped.Add(skipped)
 	s.prov.addAll(prov)
+	if sp != nil {
+		sp.SetInt("rows", scanned)
+		sp.SetInt("segments", segsScanned)
+		sp.SetInt("segmentsSkipped", skipped)
+	}
 	return loadErr
 }
+
+// segSpanSample is how many scanned segments per worker get a sampled
+// per-segment child span.
+const segSpanSample = 8
 
 // evalSlot returns the selection bitmap of one conjunct for the current
 // segment, evaluating it on first use.

@@ -31,12 +31,19 @@ type Plan struct {
 	// never reordered — p.sql must not depend on execution strategy.
 	conjs     []minisql.Expr
 	reordered bool
-	cols      []string          // output column names
-	hasAgg    bool              // any aggregate select item
-	selCol    []*dataset.Column // per select item; nil for COUNT(*)
-	keyCol    []*dataset.Column // per GROUP BY key
-	aggSel    []int             // select positions that are aggregates
-	aggCol    []*dataset.Column // parallel to aggSel; nil for COUNT(*)
+	// route is the AutoStore routing decision ("eq-dispatch", "scan-agg",
+	// ...) stamped at Prepare time; empty when the plan was prepared against
+	// a concrete store directly. conjInfo carries the planner's per-conjunct
+	// scores in execution order. Both exist purely for observability
+	// (EXPLAIN / trace attrs) and never influence execution.
+	route    string
+	conjInfo []ConjunctInfo
+	cols     []string          // output column names
+	hasAgg   bool              // any aggregate select item
+	selCol   []*dataset.Column // per select item; nil for COUNT(*)
+	keyCol   []*dataset.Column // per GROUP BY key
+	aggSel   []int             // select positions that are aggregates
+	aggCol   []*dataset.Column // parallel to aggSel; nil for COUNT(*)
 	// keyOf maps each select position to its GROUP BY key index, or -1 when
 	// the item is an aggregate or a non-grouped plain column.
 	keyOf []int
@@ -116,6 +123,42 @@ func newPlan(db DB, t *dataset.Table, q *minisql.Query) (*Plan, error) {
 // Reordered reports whether the planner changed the plan's conjunct
 // execution order away from written order.
 func (p *Plan) Reordered() bool { return p.reordered }
+
+// ConjunctInfo is one conjunct's planner audit record: its canonical SQL,
+// the estimated selectivity used to order it (NaN-free; -1 when the planner
+// did not score the plan), and its evaluation-cost tier.
+type ConjunctInfo struct {
+	SQL  string  `json:"sql"`
+	Sel  float64 `json:"sel"`
+	Cost int     `json:"cost"`
+}
+
+// PlanInfo is the plan's observability summary — what EXPLAIN shows.
+type PlanInfo struct {
+	SQL       string
+	Route     string // AutoStore route decision, "" when routed directly
+	Reordered bool
+	Conjuncts []ConjunctInfo // execution order
+}
+
+// Info returns the plan's observability summary. When the planner never
+// scored the plan (planning off, or fewer than two conjuncts) the conjuncts
+// are reported in written order with Sel = -1.
+func (p *Plan) Info() PlanInfo {
+	info := PlanInfo{SQL: p.sql, Route: p.route, Reordered: p.reordered}
+	if len(p.conjInfo) > 0 {
+		info.Conjuncts = p.conjInfo
+	} else {
+		for _, e := range p.conjs {
+			info.Conjuncts = append(info.Conjuncts, ConjunctInfo{SQL: e.SQL(), Sel: -1, Cost: -1})
+		}
+	}
+	return info
+}
+
+// Route returns the AutoStore routing decision stamped at Prepare time, or
+// "" when the plan was prepared against a concrete store directly.
+func (p *Plan) Route() string { return p.route }
 
 // Conjuncts returns the plan's top-level WHERE conjuncts in execution order.
 func (p *Plan) Conjuncts() []minisql.Expr { return p.conjs }

@@ -341,6 +341,15 @@ func maxInt(a, b int) int {
 // key, so fully tied conjuncts keep their written order — the determinism
 // guarantee the planner documents.
 func orderConjuncts(ps *plannerStats, conjs []minisql.Expr) (ordered []minisql.Expr, changed bool) {
+	ordered, _, changed = orderConjunctsScored(ps, conjs)
+	return ordered, changed
+}
+
+// orderConjunctsScored is orderConjuncts plus the per-conjunct audit trail:
+// the selectivity and cost tier each conjunct was ordered by, in the chosen
+// execution order. The scores exist anyway — keeping them is what lets
+// EXPLAIN show why the planner picked the order it picked.
+func orderConjunctsScored(ps *plannerStats, conjs []minisql.Expr) (ordered []minisql.Expr, info []ConjunctInfo, changed bool) {
 	type scored struct {
 		e    minisql.Expr
 		sel  float64
@@ -369,13 +378,15 @@ func orderConjuncts(ps *plannerStats, conjs []minisql.Expr) (ordered []minisql.E
 		return ss[i].idx < ss[j].idx
 	})
 	ordered = make([]minisql.Expr, len(ss))
+	info = make([]ConjunctInfo, len(ss))
 	for k, s := range ss {
 		ordered[k] = s.e
+		info[k] = ConjunctInfo{SQL: s.e.SQL(), Sel: s.sel, Cost: s.cost}
 		if s.idx != k {
 			changed = true
 		}
 	}
-	return ordered, changed
+	return ordered, info, changed
 }
 
 // applyPlanOrder reorders the plan's conjuncts by the greedy score and
@@ -383,7 +394,8 @@ func orderConjuncts(ps *plannerStats, conjs []minisql.Expr) (ordered []minisql.E
 // tests the cheapest, most selective leg first. The query AST — and with it
 // Plan.SQL(), the result-cache key — is never touched.
 func (p *Plan) applyPlanOrder(ps *plannerStats) error {
-	ordered, changed := orderConjuncts(ps, p.conjs)
+	ordered, info, changed := orderConjunctsScored(ps, p.conjs)
+	p.conjInfo = info
 	if !changed {
 		return nil
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/minisql"
+	"repro/internal/trace"
 )
 
 // RowStore is a full-scan executor: every query visits every row and
@@ -98,6 +99,7 @@ func (s *RowStore) ExecuteBatch(ctx context.Context, plans []*Plan) ([]*Result, 
 	}
 	results := make([]*Result, len(plans))
 	errs := make([]error, len(plans))
+	parent := trace.FromContext(ctx)
 	var wg sync.WaitGroup
 	// The semaphore bounds workers across the whole batch, so a multi-table
 	// batch still respects the Parallelism contract.
@@ -113,7 +115,13 @@ func (s *RowStore) ExecuteBatch(ctx context.Context, plans []*Plan) ([]*Result, 
 			go func(shard []int) {
 				defer wg.Done()
 				defer func() { <-sem }()
+				sp := parent.StartChild("scan")
+				sp.SetStr("backend", "row")
+				sp.SetStr("table", t.Name)
+				sp.SetInt("plans", int64(len(shard)))
+				sp.SetInt("rows", int64(t.NumRows()))
 				scanShard(ctx, t, plans, shard, results, errs)
+				sp.End()
 			}(shard)
 		}
 	}

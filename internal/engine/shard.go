@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/minisql"
+	"repro/internal/trace"
 )
 
 // Sharded scatter-gather execution. A ShardedStore splits each table's
@@ -363,10 +364,12 @@ func (s *ShardedStore) ExecuteBatch(ctx context.Context, plans []*Plan) ([]*Resu
 		shardErrs []error
 	}
 	var jobs []*scatterJob
+	parent := trace.FromContext(ctx)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, s.parallelism())
 	for _, grp := range groupPlansByTable(plans) {
 		shards := s.shards[grp.t.Name]
+		tname := grp.t.Name
 		s.stats.queries.Add(int64(len(grp.idx)))
 		job := &scatterJob{
 			grp:       grp,
@@ -386,11 +389,23 @@ func (s *ShardedStore) ExecuteBatch(ctx context.Context, plans []*Plan) ([]*Resu
 				defer func() { <-sem }()
 				s.busy.Add(1)
 				defer s.busy.Add(-1)
-				job.parts[si], job.shardErrs[si] = runShardContained(ctx, shard, sub)
+				// One scan span per (table, shard) scatter job; scanPartial
+				// picks it out of the context and annotates it with the
+				// shard's row/segment counts.
+				sp := parent.StartChild("scan")
+				sp.SetStr("backend", "sharded")
+				sp.SetStr("table", tname)
+				sp.SetInt("shard", int64(si))
+				sp.SetInt("plans", int64(len(sub)))
+				job.parts[si], job.shardErrs[si] = runShardContained(trace.WithSpan(ctx, sp), shard, sub)
+				sp.End()
 			}(si, shard, sub)
 		}
 	}
 	wg.Wait()
+	gsp := parent.StartChild("gather")
+	gsp.SetInt("plans", int64(len(plans)))
+	defer gsp.End()
 	for _, job := range jobs {
 		// Lowest-shard-index error wins; it poisons every plan of the table
 		// group, exactly as a failed segment load poisons every plan of an

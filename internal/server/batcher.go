@@ -10,6 +10,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/minisql"
+	"repro/internal/trace"
 )
 
 // ErrOverloaded is returned when a dataset's admission queue is full: the
@@ -50,6 +51,7 @@ type batcher struct {
 type submission struct {
 	ctx     context.Context
 	plans   []*engine.Plan
+	wait    *trace.Span // queue.wait span: park time until a drain takes it
 	results []*engine.Result
 	err     error
 	done    chan struct{}
@@ -80,10 +82,16 @@ func (b *batcher) submit(ctx context.Context, plans []*engine.Plan) ([]*engine.R
 		return nil, err
 	}
 	s := &submission{ctx: ctx, plans: plans, done: make(chan struct{})}
+	// queue.wait measures park time: from admission until a drain worker takes
+	// the submission. The access log subtracts its total from request latency
+	// to split queue wait from execution.
+	s.wait = trace.FromContext(ctx).StartChild("queue.wait")
 	b.mu.Lock()
 	if b.maxQueue > 0 && len(b.pending) >= b.maxQueue {
 		b.shed++
 		b.mu.Unlock()
+		s.wait.SetBool("shed", true)
+		s.wait.End()
 		return nil, ErrOverloaded
 	}
 	b.pending = append(b.pending, s)
@@ -108,6 +116,7 @@ func (b *batcher) submit(ctx context.Context, plans []*engine.Plan) ([]*engine.R
 			}
 		}
 		b.mu.Unlock()
+		s.wait.End()
 		return nil, ctx.Err()
 	}
 }
@@ -183,8 +192,21 @@ func (b *batcher) runBatch(subs []*submission) {
 	all := make([]*engine.Plan, 0, total)
 	for _, s := range subs {
 		all = append(all, s.plans...)
+		// The submission stops waiting the moment a drain takes it; how many
+		// neighbors it rode with tells the trace reader whether coalescing
+		// helped or a lone request just queued behind a busy pool.
+		s.wait.SetInt("riders", int64(len(subs)))
+		s.wait.SetBool("coalesced", len(subs) > 1)
+		s.wait.End()
 	}
 	ctx, release := mergedContext(subs)
+	if len(subs) > 1 {
+		// The merged context is rooted at Background; re-attach the first
+		// rider's span so engine scan spans still land in a trace. Riders
+		// other than the first see the shared batch's cost only as wall time —
+		// attributing one shared scan to N trees would double-count.
+		ctx = trace.WithSpan(ctx, trace.FromContext(subs[0].ctx))
+	}
 	results, err := b.execute(ctx, all)
 	release()
 	if err != nil && len(subs) > 1 {

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"repro/internal/obsv"
+	"repro/internal/trace"
 )
 
 // metrics is the server's Prometheus-format instrumentation (GET /metrics),
@@ -26,6 +27,11 @@ type metrics struct {
 	// latency observes query execution seconds by endpoint and effective
 	// optimization level.
 	latency *obsv.HistogramVec
+	// stages observes per-stage seconds, fed from the same span trees that
+	// back EXPLAIN ANALYZE and the slow-query log — so a histogram spike and
+	// a slow-log entry always tell the same story. Span names are a small
+	// fixed set, keeping label cardinality bounded.
+	stages *obsv.HistogramVec
 }
 
 // newMetrics builds the registry's metric families over reg. reg's dataset
@@ -41,7 +47,18 @@ func newMetrics(reg *Registry) *metrics {
 		latency: o.NewHistogramVec("zen_query_duration_seconds",
 			"ZQL execution latency by endpoint and optimization level.",
 			[]string{"endpoint", "opt"}, nil),
+		stages: o.NewHistogramVec("zen_stage_duration_seconds",
+			"Per-stage request time from span trees (queue.wait, prepare, scan, process, ...).",
+			[]string{"stage"}, nil),
 	}
+	o.NewCollector("zen_build_info",
+		"Build metadata; the value is always 1.", "gauge",
+		func(emit func(obsv.Sample)) {
+			emit(obsv.Sample{Labels: []obsv.Label{
+				{Key: "version", Value: Version()},
+				{Key: "go_version", Value: GoVersion()},
+			}, Value: 1})
+		})
 	o.NewGaugeFunc("zen_ready",
 		"1 when the registry passes readiness (/readyz), else 0.",
 		func() float64 {
@@ -247,4 +264,17 @@ func (m *metrics) observeRequest(endpoint string, code int) {
 // observeQuery records one ZQL execution's wall time.
 func (m *metrics) observeQuery(endpoint, opt string, seconds float64) {
 	m.latency.With(endpoint, opt).Observe(seconds)
+}
+
+// observeStages feeds the stage histogram from a finished request's span
+// tree. Each span (including the root "request") contributes one observation
+// under its name; names are a small fixed vocabulary, so cardinality stays
+// bounded no matter what queries run.
+func (m *metrics) observeStages(tree *trace.Tree) {
+	if tree == nil || tree.Root == nil {
+		return
+	}
+	trace.Walk(tree.Root, func(n *trace.Node) {
+		m.stages.With(n.Name).Observe(float64(n.DurUs) / 1e6)
+	})
 }

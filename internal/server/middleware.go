@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // statusWriter captures the response status code (and whether a header was
@@ -46,7 +48,9 @@ func requestID(r *http.Request) string {
 }
 
 // accessEntry is one JSON access-log line. Fields are flat and stable so the
-// log is grep- and jq-friendly.
+// log is grep- and jq-friendly. Traced requests (/query, /spec) additionally
+// split total latency into queue wait vs. execution, and carry the trace ID
+// and slow marker so log lines join against /debug/slowlog entries.
 type accessEntry struct {
 	Time      string  `json:"time"`
 	RequestID string  `json:"requestId"`
@@ -54,7 +58,14 @@ type accessEntry struct {
 	Path      string  `json:"path"`
 	Status    int     `json:"status"`
 	LatencyMs float64 `json:"latencyMs"`
-	Remote    string  `json:"remote,omitempty"`
+	// QueueWaitMs is time parked at the admission queue (summed over the
+	// request's queue.wait spans); ExecMs is everything else — actual
+	// planning, scanning, and processing. Zero/absent on untraced endpoints.
+	QueueWaitMs float64 `json:"queueWaitMs,omitempty"`
+	ExecMs      float64 `json:"execMs,omitempty"`
+	TraceID     string  `json:"traceId,omitempty"`
+	Slow        bool    `json:"slow,omitempty"`
+	Remote      string  `json:"remote,omitempty"`
 }
 
 // accessLogger serializes JSON access-log lines to one writer.
@@ -74,15 +85,36 @@ func (l *accessLogger) log(e accessEntry) {
 	_ = l.enc.Encode(e)
 }
 
+// traced reports whether this request gets a span tree: the execution
+// endpoints, where per-stage timing actually means something.
+func traced(r *http.Request) bool {
+	return r.Method == http.MethodPost && (r.URL.Path == "/query" || r.URL.Path == "/spec")
+}
+
 // instrument wraps the mux with the outermost request middleware: assign the
-// X-Request-ID, capture the status, time the request, then feed the
-// per-request metrics and (when enabled) the JSON access log. Probe and
-// scrape endpoints flow through too — their request counts are often the
-// first sign of a misconfigured load balancer.
+// X-Request-ID, mint the trace root for execution endpoints (honoring an
+// inbound W3C traceparent so the server joins an upstream trace), capture the
+// status, time the request, then feed the per-request metrics, the stage
+// histograms, the slow-query log, and (when enabled) the JSON access log.
+// Probe and scrape endpoints flow through too — their request counts are
+// often the first sign of a misconfigured load balancer.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := requestID(r)
 		w.Header().Set("X-Request-ID", id)
+
+		var tr *trace.Trace
+		if traced(r) {
+			traceID := ""
+			if tid, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+				traceID = tid
+			}
+			tr = trace.New("request", traceID)
+			tr.RequestID = id
+			tr.Root.SetStr("endpoint", r.URL.Path)
+			r = r.WithContext(trace.WithSpan(r.Context(), tr.Root))
+		}
+
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
@@ -92,16 +124,39 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			status = http.StatusOK // handler wrote nothing at all
 		}
 		s.metrics.observeRequest(endpointLabel(r), status)
-		if s.access != nil {
-			s.access.log(accessEntry{
-				Time:      start.UTC().Format(time.RFC3339Nano),
-				RequestID: id,
-				Method:    r.Method,
-				Path:      r.URL.Path,
-				Status:    status,
-				LatencyMs: float64(elapsed.Microseconds()) / 1000,
-				Remote:    r.RemoteAddr,
+
+		entry := accessEntry{
+			Time:      start.UTC().Format(time.RFC3339Nano),
+			RequestID: id,
+			Method:    r.Method,
+			Path:      r.URL.Path,
+			Status:    status,
+			LatencyMs: float64(elapsed.Microseconds()) / 1000,
+			Remote:    r.RemoteAddr,
+		}
+		if tr != nil {
+			tr.Root.End()
+			tree := tr.Tree()
+			s.metrics.observeStages(tree)
+			var queueUs int64
+			trace.Walk(tree.Root, func(n *trace.Node) {
+				if n.Name == "queue.wait" {
+					queueUs += n.DurUs
+				}
 			})
+			entry.TraceID = tree.TraceID
+			entry.QueueWaitMs = float64(queueUs) / 1000
+			entry.ExecMs = entry.LatencyMs - entry.QueueWaitMs
+			if entry.ExecMs < 0 {
+				entry.ExecMs = 0
+			}
+			if s.slow != nil && elapsed >= s.slowThreshold {
+				entry.Slow = true
+				s.slow.add(slowEntryFrom(tree, r.URL.Path, status, start, elapsed))
+			}
+		}
+		if s.access != nil {
+			s.access.log(entry)
 		}
 	})
 }
@@ -112,7 +167,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 func endpointLabel(r *http.Request) string {
 	switch p := r.URL.Path; p {
 	case "/query", "/spec", "/recommend", "/datasets", "/stats",
-		"/healthz", "/readyz", "/metrics":
+		"/healthz", "/readyz", "/metrics", "/debug/slowlog":
 		return p
 	default:
 		if len(p) > len("/datasets/") && p[:len("/datasets/")] == "/datasets/" {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/frontend"
+	"repro/internal/trace"
 	"repro/internal/zexec"
 )
 
@@ -48,6 +49,11 @@ type Server struct {
 	metrics *metrics
 	access  *accessLogger
 	timeout time.Duration
+	// slowThreshold gates the slow-query log: a traced request slower than
+	// it is captured into slow (nil when disabled by a negative threshold).
+	slowThreshold time.Duration
+	slow          *slowLog
+	slowKeep      int
 }
 
 // Option configures a Server.
@@ -65,11 +71,26 @@ func WithAccessLog(w io.Writer) Option {
 	return func(s *Server) { s.access = newAccessLogger(w) }
 }
 
+// WithSlowQueryLog configures the slow-query ring buffer: requests slower
+// than threshold are captured with their full span tree and served at
+// GET /debug/slowlog. A negative threshold disables capture (tracing itself
+// stays on — it also feeds EXPLAIN and the stage histograms). keep <= 0
+// retains DefaultSlowLogKeep entries.
+func WithSlowQueryLog(threshold time.Duration, keep int) Option {
+	return func(s *Server) {
+		s.slowThreshold = threshold
+		s.slowKeep = keep
+	}
+}
+
 // New builds a server over the registry.
 func New(reg *Registry, opts ...Option) *Server {
-	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s := &Server{reg: reg, mux: http.NewServeMux(), slowThreshold: DefaultSlowQueryThreshold}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.slowThreshold >= 0 {
+		s.slow = newSlowLog(s.slowKeep)
 	}
 	s.metrics = newMetrics(reg)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
@@ -79,10 +100,11 @@ func New(reg *Registry, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /datasets/{name}/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
 	s.mux.Handle("GET /metrics", s.metrics.obsv)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		fmt.Fprintf(w, "ok %s\n", Version())
 	})
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.handler = s.instrument(s.mux)
@@ -199,15 +221,22 @@ type QueryRequest struct {
 	ZQL     string               `json:"zql"`
 	Inputs  map[string][]float64 `json:"inputs,omitempty"`
 	Opt     string               `json:"opt,omitempty"`
+	// Explain selects EXPLAIN mode: "plan" prepares everything (canonical
+	// SQL, conjunct order, route) but executes nothing and returns the span
+	// tree with an empty result; "analyze" executes normally and returns the
+	// span tree alongside the result. Empty means a normal query.
+	Explain string `json:"explain,omitempty"`
 }
 
 // QueryResponse is the body of POST /query and POST /spec responses. Result
 // is deterministic for a given dataset and query; Stats varies run to run.
+// Trace is present only on explain requests.
 type QueryResponse struct {
 	Dataset string       `json:"dataset"`
 	ZQL     string       `json:"zql,omitempty"`
 	Result  ResultJSON   `json:"result"`
 	Stats   RunStatsJSON `json:"stats"`
+	Trace   *trace.Tree  `json:"trace,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -221,7 +250,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	d.ctr.queries.Add(1)
-	s.execute(w, r, d, "/query", req.ZQL, req.Inputs, req.Opt, "")
+	s.execute(w, r, d, "/query", req.ZQL, req.Inputs, req.Opt, "", req.Explain)
 }
 
 // SpecJSON is the wire form of the drag-and-drop interface state
@@ -293,7 +322,7 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.execute(w, r, d, "/spec", zqlText, inputs, req.Opt, zqlText)
+	s.execute(w, r, d, "/spec", zqlText, inputs, req.Opt, zqlText, "")
 }
 
 // requestContext derives the execution context for one request: the client's
@@ -321,7 +350,12 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 // /spec callers can see the translation. A deadline or client disconnect cuts
 // the run at the engine's next cancellation point; the 504/499 response then
 // carries the partial execution statistics.
-func (s *Server) execute(w http.ResponseWriter, r *http.Request, d *Dataset, endpoint, zqlText string, inputs map[string][]float64, optName, echoZQL string) {
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, d *Dataset, endpoint, zqlText string, inputs map[string][]float64, optName, echoZQL, explain string) {
+	if explain != "" && explain != "plan" && explain != "analyze" {
+		d.ctr.errors.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad explain %q: want \"plan\" or \"analyze\"", explain))
+		return
+	}
 	opt, err := optLevel(d, optName)
 	if err != nil {
 		d.ctr.errors.Add(1)
@@ -336,7 +370,12 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, d *Dataset, end
 	}
 	defer cancel()
 	start := time.Now()
-	res, err := d.session.QueryContext(ctx, zqlText, inputs, opt)
+	var res *zexec.Result
+	if explain == "plan" {
+		res, err = d.session.PlanContext(ctx, zqlText, inputs, opt)
+	} else {
+		res, err = d.session.QueryContext(ctx, zqlText, inputs, opt)
+	}
 	s.metrics.observeQuery(endpoint, opt.String(), time.Since(start).Seconds())
 	if err != nil {
 		d.ctr.errors.Add(1)
@@ -347,12 +386,22 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, d *Dataset, end
 		return
 	}
 	d.recordProcess(res.Stats.Process)
-	writeJSON(w, http.StatusOK, QueryResponse{
+	resp := QueryResponse{
 		Dataset: d.name,
 		ZQL:     echoZQL,
 		Result:  EncodeResult(res),
 		Stats:   EncodeStats(res.Stats),
-	})
+	}
+	if explain != "" {
+		// Snapshot the request's live trace (the middleware owns and ends
+		// the root; unended spans report elapsed-so-far). The middleware
+		// always traces /query, so the trace is only missing if execute is
+		// ever reached some other way — then explain simply returns no tree.
+		if tr := trace.FromContext(r.Context()).Trace(); tr != nil {
+			resp.Trace = tr.Tree()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // RecommendRequest is the body of POST /recommend.

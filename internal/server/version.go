@@ -1,0 +1,58 @@
+package server
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Version returns the server's build version string, resolved once from the
+// binary's embedded build info: the module version when built from a tagged
+// module, else the VCS revision (short), else "dev". The same string appears
+// in /healthz, the zserved startup log line, and the zen_build_info metric,
+// so every surface agrees about what is running.
+func Version() string {
+	versionOnce.Do(func() {
+		versionStr = resolveVersion()
+	})
+	return versionStr
+}
+
+var (
+	versionOnce sync.Once
+	versionStr  string
+)
+
+func resolveVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// GoVersion returns the running toolchain version (the go_version label of
+// zen_build_info).
+func GoVersion() string { return runtime.Version() }

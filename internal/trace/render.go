@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Node is the rendered (immutable snapshot) form of a span, the shape that
+// goes out as JSON in explain responses and /debug/slowlog entries. StartUs
+// is the span's start offset relative to the tree root; DurUs is the span
+// duration, ceiling-rounded so an ended span never reports 0µs (sub-micro
+// stages still show up as 1, which keeps "nonzero duration" assertions and
+// eyeballs honest about the stage having run).
+type Node struct {
+	Name            string         `json:"name"`
+	StartUs         int64          `json:"startUs"`
+	DurUs           int64          `json:"durUs"`
+	Attrs           map[string]any `json:"attrs,omitempty"`
+	DroppedChildren int            `json:"droppedChildren,omitempty"`
+	Children        []*Node        `json:"children,omitempty"`
+}
+
+// Tree is a full trace snapshot: identity plus the root node.
+type Tree struct {
+	TraceID   string `json:"traceId"`
+	RequestID string `json:"requestId,omitempty"`
+	Root      *Node  `json:"root"`
+}
+
+// Tree snapshots the trace into its rendered form. Safe to call while spans
+// are still running (unended spans report elapsed-so-far) and concurrently
+// with span mutation — each span is copied under its own lock.
+func (t *Trace) Tree() *Tree {
+	if t == nil {
+		return nil
+	}
+	return &Tree{
+		TraceID:   t.TraceID,
+		RequestID: t.RequestID,
+		Root:      snapshot(t.Root, t.Root.start),
+	}
+}
+
+func ceilUs(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return int64((d + time.Microsecond - 1) / time.Microsecond)
+}
+
+func snapshot(s *Span, origin time.Time) *Node {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	dur := s.dur
+	if !s.ended {
+		dur = time.Since(s.start)
+	}
+	n := &Node{
+		Name:            s.name,
+		StartUs:         int64(s.start.Sub(origin) / time.Microsecond),
+		DurUs:           ceilUs(dur),
+		DroppedChildren: s.dropped,
+	}
+	if len(s.attrs) > 0 {
+		n.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			n.Attrs[a.Key] = a.Value()
+		}
+	}
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	s.mu.Unlock()
+	if len(kids) > 0 {
+		n.Children = make([]*Node, 0, len(kids))
+		for _, c := range kids {
+			n.Children = append(n.Children, snapshot(c, origin))
+		}
+	}
+	return n
+}
+
+// Walk visits n and every descendant, depth-first.
+func Walk(n *Node, fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		Walk(c, fn)
+	}
+}
+
+// Render formats the tree in EXPLAIN ANALYZE style: one line per span with
+// offset, duration, and attrs, indented by depth. Attr keys are sorted so
+// output is stable.
+func (t *Tree) Render() string {
+	if t == nil || t.Root == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s", t.TraceID)
+	if t.RequestID != "" {
+		fmt.Fprintf(&b, " request %s", t.RequestID)
+	}
+	b.WriteByte('\n')
+	renderNode(&b, t.Root, 0)
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	if depth > 0 {
+		b.WriteString("-> ")
+	}
+	fmt.Fprintf(b, "%s  [+%s %s]", n.Name, usString(n.StartUs), usString(n.DurUs))
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("  ")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(b, "%s=%v", k, n.Attrs[k])
+		}
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		renderNode(b, c, depth+1)
+	}
+	if n.DroppedChildren > 0 {
+		for i := 0; i < depth+1; i++ {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(b, "-> ... %d more children dropped\n", n.DroppedChildren)
+	}
+}
+
+func usString(us int64) string {
+	switch {
+	case us >= 1_000_000:
+		return fmt.Sprintf("%.2fs", float64(us)/1e6)
+	case us >= 1_000:
+		return fmt.Sprintf("%.2fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}

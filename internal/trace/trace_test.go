@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentChildren hammers one parent span from many goroutines —
+// exactly what the scatter-gather engine does — and must pass under -race.
+func TestConcurrentChildren(t *testing.T) {
+	tr := New("request", "")
+	const workers = 16
+	const perWorker = 8 // 128 total, over MaxChildren
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c := tr.Root.StartChild("scan")
+				c.SetInt("shard", int64(w))
+				c.SetStr("table", "sales")
+				c.SetBool("skipped", i%2 == 0)
+				c.SetFloat("sel", 0.25)
+				c.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.Root.End()
+
+	tree := tr.Tree()
+	if got := len(tree.Root.Children); got != MaxChildren {
+		t.Fatalf("children = %d, want bounded at %d", got, MaxChildren)
+	}
+	if want := workers*perWorker - MaxChildren; tree.Root.DroppedChildren != want {
+		t.Fatalf("droppedChildren = %d, want %d", tree.Root.DroppedChildren, want)
+	}
+}
+
+// TestTruncationMarker checks the dropped-children count is visible in both
+// the JSON and the text rendering.
+func TestTruncationMarker(t *testing.T) {
+	tr := New("request", "")
+	for i := 0; i < MaxChildren+3; i++ {
+		tr.Root.StartChild("segment").End()
+	}
+	tr.Root.End()
+	tree := tr.Tree()
+	if tree.Root.DroppedChildren != 3 {
+		t.Fatalf("droppedChildren = %d, want 3", tree.Root.DroppedChildren)
+	}
+	raw, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"droppedChildren":3`) {
+		t.Fatalf("JSON missing truncation marker: %s", raw)
+	}
+	if text := tree.Render(); !strings.Contains(text, "3 more children dropped") {
+		t.Fatalf("text render missing truncation marker:\n%s", text)
+	}
+}
+
+// TestNoopZeroAlloc pins the off-path cost: every span operation on the
+// no-op (nil) recorder must be allocation-free. This is the contract that
+// lets tracing instrumentation live on the hot path.
+func TestNoopZeroAlloc(t *testing.T) {
+	var sp *Span
+	allocs := testing.AllocsPerRun(1000, func() {
+		c := sp.StartChild("scan")
+		c.SetStr("table", "sales")
+		c.SetInt("rows", 12345)
+		c.SetFloat("sel", 0.5)
+		c.SetBool("skipped", true)
+		_ = c.Duration()
+		_ = c.Name()
+		c.End()
+		grand := c.StartChild("segment")
+		grand.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op recorder allocated %.1f per run, want 0", allocs)
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext on bare context should be nil")
+	}
+	if ctx := WithSpan(context.Background(), nil); FromContext(ctx) != nil {
+		t.Fatal("WithSpan(nil) must keep the context untraced")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := New("request", "")
+	ctx := WithSpan(context.Background(), tr.Root)
+	got := FromContext(ctx)
+	if got != tr.Root {
+		t.Fatal("FromContext did not return the stored span")
+	}
+	if got.Trace() != tr {
+		t.Fatal("span lost its owning trace")
+	}
+	child := got.StartChild("prepare")
+	if child.Trace() != tr {
+		t.Fatal("child lost the owning trace")
+	}
+}
+
+func TestTreeSnapshot(t *testing.T) {
+	tr := New("request", "abc0123456789def0123456789abcdef")
+	tr.RequestID = "req-42"
+	prep := tr.Root.StartChild("prepare")
+	prep.SetStr("sql", "SELECT x FROM t")
+	time.Sleep(time.Millisecond)
+	prep.End()
+	exec := tr.Root.StartChild("execute")
+	scan := exec.StartChild("scan")
+	scan.SetInt("rows", 100)
+	scan.End()
+	exec.End()
+	tr.Root.End()
+
+	tree := tr.Tree()
+	if tree.TraceID != "abc0123456789def0123456789abcdef" || tree.RequestID != "req-42" {
+		t.Fatalf("identity lost: %+v", tree)
+	}
+	if len(tree.Root.Children) != 2 {
+		t.Fatalf("want 2 children, got %d", len(tree.Root.Children))
+	}
+	if tree.Root.Children[0].DurUs < 1000 {
+		t.Fatalf("prepare duration %dµs, want >= 1ms", tree.Root.Children[0].DurUs)
+	}
+	// Every ended span reports a nonzero duration (ceil to 1µs).
+	Walk(tree.Root, func(n *Node) {
+		if n.DurUs == 0 {
+			t.Fatalf("span %q has zero duration", n.Name)
+		}
+	})
+	// Child offsets are relative to the root and ordered.
+	if tree.Root.Children[1].StartUs < tree.Root.Children[0].StartUs {
+		t.Fatal("children out of start order")
+	}
+	if got := tree.Root.Children[1].Children[0].Attrs["rows"]; got != int64(100) {
+		t.Fatalf("scan rows attr = %v, want 100", got)
+	}
+
+	text := tree.Render()
+	for _, want := range []string{"trace abc0123456789def0123456789abcdef", "request req-42", "-> prepare", "-> execute", "-> scan", "sql=SELECT x FROM t"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestTreeWhileRunning snapshots a live trace (the explain path does this
+// before the request span ends).
+func TestTreeWhileRunning(t *testing.T) {
+	tr := New("request", "")
+	child := tr.Root.StartChild("execute")
+	time.Sleep(time.Millisecond)
+	tree := tr.Tree() // neither span ended
+	if tree.Root.DurUs == 0 || tree.Root.Children[0].DurUs == 0 {
+		t.Fatalf("running spans should report elapsed time: %+v", tree.Root)
+	}
+	child.End()
+	tr.Root.End()
+	if d := child.Duration(); d < time.Millisecond {
+		t.Fatalf("ended duration %v, want >= 1ms", d)
+	}
+	first := child.Duration()
+	child.End() // second End keeps the first duration
+	if child.Duration() != first {
+		t.Fatal("second End changed the duration")
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	id, ok := ParseTraceparent(valid)
+	if !ok || id != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("valid header rejected: id=%q ok=%v", id, ok)
+	}
+	bad := []string{
+		"",
+		"00-short-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // missing flags
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",   // uppercase
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // all-zero id
+		"00x4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x",  // bad dashes
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // bad version hex
+		"00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01",   // bad id hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902bg-01",   // bad parent hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g",   // bad flags hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x", // too long
+	}
+	for _, h := range bad {
+		if id, ok := ParseTraceparent(h); ok {
+			t.Fatalf("accepted malformed traceparent %q -> %q", h, id)
+		}
+	}
+	// Minted IDs are 32 hex and unique-ish.
+	a, b := New("r", ""), New("r", "")
+	if len(a.TraceID) != 32 || !isHex(a.TraceID) {
+		t.Fatalf("minted trace ID malformed: %q", a.TraceID)
+	}
+	if a.TraceID == b.TraceID {
+		t.Fatal("two minted trace IDs collided")
+	}
+}

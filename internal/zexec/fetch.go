@@ -9,6 +9,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/minisql"
+	"repro/internal/trace"
 	"repro/internal/vis"
 	"repro/internal/zql"
 )
@@ -344,29 +345,91 @@ func (ex *executor) executeBatch(jobs []*queryJob) error {
 	}
 	ex.stats.Requests++
 	ex.stats.SQLQueries += len(jobs)
+	parent := trace.FromContext(ex.ctx)
+	prep := parent.StartChild("prepare")
+	prep.SetInt("plans", int64(len(jobs)))
 	plans := make([]*engine.Plan, len(jobs))
 	for i, j := range jobs {
 		p, err := ex.db.Prepare(j.q)
 		if err != nil {
+			prep.End()
 			return fmt.Errorf("zexec: preparing %q: %w", j.q.SQL(), err)
 		}
 		// The plan rendered its canonical SQL once at Prepare; reuse it for
 		// the log instead of rendering again.
 		ex.sqlLog = append(ex.sqlLog, p.SQL())
 		plans[i] = p
+		annotatePlanSpan(prep, p)
 	}
+	prep.End()
+	if ex.opts.PlanOnly {
+		// EXPLAIN (plan mode): planning ran — canonical SQL, routes, and
+		// conjunct orders are all decided — but nothing executes. Every unit
+		// gets an empty visualization so downstream shaping stays total.
+		for _, j := range jobs {
+			for _, u := range j.units {
+				u.out = &vis.Visualization{
+					XAttr:   strings.Join(u.xattrs, "×"),
+					YAttr:   strings.Join(u.yattrs, "+"),
+					Slices:  u.slices,
+					VizType: u.vd.Type,
+				}
+			}
+		}
+		return nil
+	}
+	exec := parent.StartChild("execute")
 	start := time.Now()
-	results, err := ex.db.ExecuteBatch(ex.ctx, plans)
+	results, err := ex.db.ExecuteBatch(trace.WithSpan(ex.ctx, exec), plans)
 	ex.stats.QueryTime += time.Since(start)
+	exec.End()
 	if err != nil {
 		return fmt.Errorf("zexec: %w", err)
 	}
+	mat := parent.StartChild("materialize")
+	defer mat.End()
+	var points int64
 	for i, j := range jobs {
 		if err := splitJob(j, results[i]); err != nil {
 			return err
 		}
+		for _, u := range j.units {
+			points += int64(len(u.out.Points))
+		}
 	}
+	mat.SetInt("points", points)
 	return nil
+}
+
+// annotatePlanSpan records one prepared plan's audit trail — canonical SQL,
+// the auto-router's decision, and the greedy planner's chosen conjunct order
+// with the scores that ordered it — as a "plan" child span.
+func annotatePlanSpan(prep *trace.Span, p *engine.Plan) {
+	if prep == nil {
+		return
+	}
+	info := p.Info()
+	sp := prep.StartChild("plan")
+	sp.SetStr("sql", info.SQL)
+	if info.Route != "" {
+		sp.SetStr("route", info.Route)
+	}
+	sp.SetBool("reordered", info.Reordered)
+	if len(info.Conjuncts) > 0 {
+		var b strings.Builder
+		for i, c := range info.Conjuncts {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			if c.Sel >= 0 {
+				fmt.Fprintf(&b, "%s (sel=%.3g cost=%d)", c.SQL, c.Sel, c.Cost)
+			} else {
+				b.WriteString(c.SQL)
+			}
+		}
+		sp.SetStr("conjuncts", b.String())
+	}
+	sp.End()
 }
 
 // splitJob distributes a job's result rows into its units' visualizations.

@@ -1,6 +1,7 @@
 package zexec
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/compact"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/trace"
 	"repro/internal/vis"
 	"repro/internal/zpack"
 	"repro/internal/zql"
@@ -80,6 +82,7 @@ type goldenVariant struct {
 	name   string
 	opts   func(o *Options)
 	noPlan bool // pin written conjunct order: the planner-off baseline
+	traced bool // run under a live span tree: tracing must not move a byte
 }
 
 func goldenVariants() []goldenVariant {
@@ -101,6 +104,10 @@ func goldenVariants() []goldenVariant {
 		// bytes at both ends of the optimization ladder.
 		{name: "noopt-noplan", opts: func(o *Options) { o.Opt = NoOpt }, noPlan: true},
 		{name: "intertask-noplan", opts: func(o *Options) { o.Opt = InterTask }, noPlan: true},
+		// Tracing threads spans through the whole execution path; it is
+		// observation only and must never change a rendered byte.
+		{name: "intertask-traced", opts: func(o *Options) { o.Opt = InterTask }, traced: true},
+		{name: "noopt-traced", opts: func(o *Options) { o.Opt = NoOpt }, traced: true},
 	}
 	return vars
 }
@@ -140,6 +147,10 @@ func encodeResult(res *Result) string {
 }
 
 func runGolden(t *testing.T, src string, db engine.DB, gc goldenCase, mutate func(o *Options)) string {
+	return runGoldenCtx(t, src, db, gc, mutate, false)
+}
+
+func runGoldenCtx(t *testing.T, src string, db engine.DB, gc goldenCase, mutate func(o *Options), traced bool) string {
 	t.Helper()
 	q, err := zql.Parse(src)
 	if err != nil {
@@ -147,7 +158,20 @@ func runGolden(t *testing.T, src string, db engine.DB, gc goldenCase, mutate fun
 	}
 	opts := Options{Table: gc.table().Name, Seed: 42, Inputs: gc.inputs}
 	mutate(&opts)
-	res, err := Run(q, db, opts)
+	ctx := context.Background()
+	if traced {
+		tr := trace.New("query", "")
+		ctx = trace.WithSpan(ctx, tr.Root)
+		defer func() {
+			tr.Root.End()
+			// The tree must actually record execution — a trivially empty
+			// trace would make this variant vacuous.
+			if tree := tr.Tree(); len(tree.Root.Children) == 0 {
+				t.Errorf("traced run of %s produced an empty span tree", gc.file)
+			}
+		}()
+	}
+	res, err := RunContext(ctx, q, db, opts)
 	if err != nil {
 		t.Fatalf("run %s: %v", gc.file, err)
 	}
@@ -226,7 +250,7 @@ func TestGoldenCorpus(t *testing.T) {
 							p.SetPlanning(false)
 							defer p.SetPlanning(true)
 						}
-						got := runGolden(t, src, db, gc, gv.opts)
+						got := runGoldenCtx(t, src, db, gc, gv.opts, gv.traced)
 						if got != string(want) {
 							t.Errorf("result differs from golden\n--- got ---\n%s\n--- want ---\n%s", clip(got), clip(string(want)))
 						}

@@ -134,6 +134,13 @@ func (ex *executor) iterateVars(vars []string, base map[string]element, fn func(
 // declarations take the pruned top-k path. Every path yields the same kept
 // tuples in the same order.
 func (ex *executor) runProcess(rs *rowState, d *zql.ProcessDecl) error {
+	if ex.opts.PlanOnly {
+		// EXPLAIN plan mode: nothing was fetched, so there is nothing to
+		// score. Output variables still bind (empty) so downstream rows and
+		// the inter-task scheduler's progress check stay satisfied.
+		ex.bindOutputs(d.OutVars, nil)
+		return nil
+	}
 	if d.Mech == zql.MechR {
 		return ex.runR(d)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/vis"
 	"repro/internal/zql"
 )
@@ -188,7 +189,17 @@ func (ex *executor) fetchRows(states []*rowState) error {
 // runRowProcesses executes the row's process declarations in order.
 func (ex *executor) runRowProcesses(rs *rowState) error {
 	start := time.Now()
-	defer func() { ex.stats.ProcessTime += time.Since(start) }()
+	sp := trace.FromContext(ex.ctx).StartChild("process")
+	sp.SetInt("line", int64(rs.row.Line))
+	before := ex.proc.snapshot()
+	defer func() {
+		ex.stats.ProcessTime += time.Since(start)
+		after := ex.proc.snapshot()
+		sp.SetInt("tuples", after.Tuples-before.Tuples)
+		sp.SetInt("distCalls", after.DistCalls-before.DistCalls)
+		sp.SetInt("distAbandoned", after.DistAbandoned-before.DistAbandoned)
+		sp.End()
+	}()
 	for i := range rs.row.Process {
 		if err := ex.runProcess(rs, &rs.row.Process[i]); err != nil {
 			return fmt.Errorf("zexec: line %d: %w", rs.row.Line, err)
